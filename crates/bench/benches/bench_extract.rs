@@ -1,0 +1,66 @@
+//! Extraction benchmarks: rendering, wrapper application, induction, repair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wrangler_extract::induce::{induce_wrapper, Annotation};
+use wrangler_extract::repair::{repair_wrapper, RepairConfig};
+use wrangler_extract::Template;
+use wrangler_table::{Table, Value};
+
+fn catalog(n: usize) -> Table {
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                Value::from(format!("P{i:05}")),
+                Value::from(format!("Product Line {} Item {}", i % 31, i)),
+                Value::Float((i % 499) as f64 + 0.99),
+            ]
+        })
+        .collect();
+    Table::literal(&["sku", "name", "price"], rows).expect("aligned")
+}
+
+fn ann(t: &Table, i: usize) -> Annotation {
+    Annotation::of(&[
+        ("sku", &t.get_named(i, "sku").unwrap().render()),
+        ("name", &t.get_named(i, "name").unwrap().render()),
+        ("price", &t.get_named(i, "price").unwrap().render()),
+    ])
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let data = catalog(500);
+    let template = Template::listing(&["sku", "name", "price"]);
+    let page = template.render(&data);
+
+    c.bench_function("extract/render_500", |b| {
+        b.iter(|| black_box(template.render(&data).len()))
+    });
+    c.bench_function("extract/wrapper_apply_500", |b| {
+        let w = template.oracle_wrapper();
+        b.iter(|| black_box(w.extract(&page).unwrap().records_found))
+    });
+    let small = catalog(100);
+    let small_page = template.render(&small);
+    c.bench_function("extract/induce_2_examples_100", |b| {
+        b.iter(|| {
+            black_box(induce_wrapper(&small_page, &[ann(&small, 3), ann(&small, 50)]).unwrap())
+        })
+    });
+    c.bench_function("extract/informed_repair_100", |b| {
+        let wrapper = template.oracle_wrapper();
+        let drifted = template.drift(5).render(&small);
+        let cfg = RepairConfig {
+            stable_columns: vec!["sku".into(), "name".into()],
+            ..RepairConfig::default()
+        };
+        b.iter(|| black_box(repair_wrapper(&wrapper, &drifted, &small, &cfg).is_some()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extract
+}
+criterion_main!(benches);

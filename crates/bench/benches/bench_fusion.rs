@@ -1,0 +1,75 @@
+//! Fusion benchmarks: conflict resolution and truth discovery at claim scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wrangler_fusion::strategies::{fuse_attribute, SourceContext, Strategy};
+use wrangler_fusion::truthfinder::{truthfinder, TruthFinderConfig};
+use wrangler_fusion::ClaimSet;
+use wrangler_table::Value;
+
+/// `entities` entities × `sources` sources, ~20% disagreement.
+fn claims(entities: usize, sources: usize) -> ClaimSet {
+    let mut cs = ClaimSet::new(sources);
+    cs.rel_tol = 1e-6;
+    for e in 0..entities {
+        for s in 0..sources {
+            let v = if (e + s) % 5 == 0 {
+                Value::Float(999.0) // dissent
+            } else {
+                Value::Float(e as f64 * 1.5)
+            };
+            cs.add(e, 0, v, s);
+        }
+    }
+    cs
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let cs = claims(1_000, 10);
+    let ctx = SourceContext {
+        trust: (0..10).map(|i| 0.5 + 0.04 * i as f64).collect(),
+        age: (0..10).map(|i| i as u64).collect(),
+    };
+    c.bench_function("fusion/majority_1k_slots", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for e in 0..1_000 {
+                if fuse_attribute(&cs, e, 0, Strategy::MajorityVote, &ctx).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("fusion/trust_fresh_1k_slots", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for e in 0..1_000 {
+                if fuse_attribute(
+                    &cs,
+                    e,
+                    0,
+                    Strategy::TrustAndFreshness { half_life: 4.0 },
+                    &ctx,
+                )
+                .is_some()
+                {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("fusion/truthfinder_10k_claims", |b| {
+        b.iter(|| {
+            black_box(truthfinder(&cs, &TruthFinderConfig::default(), &Vec::new()).iterations)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fusion
+}
+criterion_main!(benches);

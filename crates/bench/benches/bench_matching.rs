@@ -1,0 +1,57 @@
+//! Schema-matching benchmarks: the CPU-heavy step of mapping generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wrangler_bench::{default_fleet_config, fleet, target_sample};
+use wrangler_context::Ontology;
+use wrangler_match::strsim;
+use wrangler_match::{match_schemas, select_one_to_one, MatchConfig};
+use wrangler_sources::{FleetConfig, SourceId};
+
+fn bench_matching(c: &mut Criterion) {
+    let cfg = FleetConfig {
+        num_sources: 2,
+        num_products: 500,
+        ..default_fleet_config()
+    };
+    let f = fleet(&cfg, 3);
+    let sample = target_sample(&f);
+    let source = &f.registry.get(SourceId(0)).unwrap().table;
+    let ont = Ontology::ecommerce();
+
+    c.bench_function("match/schemas_500rows", |b| {
+        b.iter(|| {
+            black_box(match_schemas(&sample, source, Some(&ont), &MatchConfig::default()).len())
+        })
+    });
+    c.bench_function("match/select_one_to_one", |b| {
+        let corrs = match_schemas(&sample, source, Some(&ont), &MatchConfig::default());
+        b.iter(|| black_box(select_one_to_one(&corrs).len()))
+    });
+    c.bench_function("match/jaro_winkler", |b| {
+        b.iter(|| {
+            black_box(strsim::jaro_winkler(
+                "Acme Turbo Widget 42",
+                "Acme Trubo Widgt 42",
+            ))
+        })
+    });
+    c.bench_function("match/levenshtein", |b| {
+        b.iter(|| {
+            black_box(strsim::levenshtein(
+                "Acme Turbo Widget 42",
+                "Acme Trubo Widgt 42",
+            ))
+        })
+    });
+    c.bench_function("match/name_similarity", |b| {
+        b.iter(|| black_box(strsim::name_similarity("unit_price", "sale price usd")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end pipeline benchmarks: a full wrangle (the E1 hot path) and the
+//! incremental rewrangle after feedback (E7b's claim, as a microbenchmark).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wrangler_bench::{default_fleet_config, fleet, session};
+use wrangler_context::UserContext;
+use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
+use wrangler_sources::FleetConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = FleetConfig {
+        num_products: 100,
+        num_sources: 10,
+        ..default_fleet_config()
+    };
+    let f = fleet(&cfg, 12);
+
+    c.bench_function("pipeline/full_wrangle_10src_100prod", |b| {
+        b.iter_batched(
+            || session(&f, UserContext::balanced("bench")),
+            |mut w| black_box(w.wrangle().unwrap().entities),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pipeline/incremental_rewrangle_one_slot", |b| {
+        b.iter_batched(
+            || {
+                let mut w = session(&f, UserContext::balanced("bench"));
+                w.routing = RoutingMode::Siloed;
+                w.wrangle().unwrap();
+                let price_attr = w.target().index_of("price").unwrap();
+                w.give_feedback(FeedbackItem::expert(
+                    FeedbackTarget::Value {
+                        entity: 0,
+                        attr: price_attr,
+                        value: None,
+                    },
+                    Verdict::Negative,
+                    1.0,
+                ));
+                w
+            },
+            |mut w| black_box(w.rewrangle().unwrap().entities),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pipeline/plan_derivation", |b| {
+        let user = UserContext::accuracy_first();
+        b.iter(|| black_box(wrangler_core::Plan::derive(&user)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

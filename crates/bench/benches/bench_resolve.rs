@@ -1,0 +1,79 @@
+//! Entity-resolution benchmarks: blocking vs naive candidate generation and
+//! clustering (the E7a hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wrangler_resolve::{
+    candidates_blocked, candidates_naive, candidates_sorted_neighborhood, cluster_pairs,
+    match_pairs, ErConfig, FieldSim, SimKind,
+};
+use wrangler_table::{Table, Value};
+
+fn dup_table(n: usize) -> Table {
+    let rows = (0..n)
+        .map(|i| {
+            let base = i / 3; // every product appears ~3 times
+            vec![
+                Value::from(format!("SKU-{base:05}")),
+                Value::from(format!(
+                    "{} {} {}",
+                    ["Acme", "Bolt", "Stark", "Wayne"][base % 4],
+                    ["Turbo", "Mini", "Mega"][base % 3],
+                    base
+                )),
+                Value::Float((base % 211) as f64 + 0.99),
+            ]
+        })
+        .collect();
+    Table::literal(&["sku", "name", "price"], rows).expect("aligned")
+}
+
+fn cfg() -> ErConfig {
+    ErConfig {
+        fields: vec![
+            FieldSim {
+                column: "sku".into(),
+                weight: 2.0,
+                kind: SimKind::Exact,
+            },
+            FieldSim {
+                column: "name".into(),
+                weight: 3.0,
+                kind: SimKind::Text,
+            },
+        ],
+        threshold: 0.85,
+    }
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let t = dup_table(2_000);
+    c.bench_function("resolve/candidates_blocked_2k", |b| {
+        b.iter(|| black_box(candidates_blocked(&t, "name").unwrap().len()))
+    });
+    c.bench_function("resolve/candidates_sorted_neighborhood_2k", |b| {
+        b.iter(|| black_box(candidates_sorted_neighborhood(&t, "name", 5).unwrap().len()))
+    });
+    c.bench_function("resolve/match_blocked_2k", |b| {
+        let cand = candidates_blocked(&t, "name").unwrap();
+        b.iter(|| black_box(match_pairs(&t, &cand, &cfg()).unwrap().len()))
+    });
+    let small = dup_table(400);
+    c.bench_function("resolve/match_naive_400", |b| {
+        let cand = candidates_naive(small.num_rows());
+        b.iter(|| black_box(match_pairs(&small, &cand, &cfg()).unwrap().len()))
+    });
+    c.bench_function("resolve/cluster_100k_pairs", |b| {
+        let pairs: Vec<(usize, usize)> = (0..100_000)
+            .map(|i| (i % 50_000, (i + 1) % 50_000))
+            .collect();
+        b.iter(|| black_box(cluster_pairs(50_000, pairs.iter().copied()).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_resolve
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the table substrate: the hot relational operators
+//! every pipeline stage leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wrangler_table::ops::{self, Agg};
+use wrangler_table::{Expr, Table, Value};
+
+fn make_table(n: usize) -> Table {
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                Value::from(format!("sku{:06}", i % (n / 4 + 1))),
+                Value::from(format!("vendor{}", i % 17)),
+                Value::Float((i % 997) as f64 * 0.5),
+                Value::Int(i as i64),
+            ]
+        })
+        .collect();
+    Table::literal(&["sku", "vendor", "price", "n"], rows).expect("aligned")
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let t = make_table(10_000);
+    c.bench_function("table/filter_10k", |b| {
+        let pred = Expr::col("price").gt(Expr::lit(200.0));
+        b.iter(|| black_box(ops::filter(&t, &pred).unwrap().num_rows()))
+    });
+    c.bench_function("table/sort_10k", |b| {
+        b.iter(|| black_box(ops::sort_by(&t, &["price", "sku"]).unwrap().num_rows()))
+    });
+    c.bench_function("table/group_by_10k", |b| {
+        b.iter(|| {
+            black_box(
+                ops::group_by(
+                    &t,
+                    &["vendor"],
+                    &[(Agg::Mean, "price"), (Agg::CountAll, "n")],
+                )
+                .unwrap()
+                .num_rows(),
+            )
+        })
+    });
+    let right = make_table(2_000);
+    c.bench_function("table/hash_join_10k_x_2k", |b| {
+        b.iter(|| black_box(ops::join(&t, &right, "sku", "sku").unwrap().num_rows()))
+    });
+    c.bench_function("table/distinct_10k", |b| {
+        b.iter(|| black_box(ops::distinct(&t).num_rows()))
+    });
+    c.bench_function("table/csv_roundtrip_2k", |b| {
+        let small = make_table(2_000);
+        b.iter_batched(
+            || wrangler_table::csv::write_csv(&small),
+            |text| black_box(wrangler_table::csv::read_csv(&text).unwrap().num_rows()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Internal diagnostic: inspect mapping/ER/fusion health on the standard
+//! fleet. Not an experiment — a debugging aid.
+
+use wrangler_bench::{fleet, session};
+use wrangler_context::UserContext;
+use wrangler_sources::FleetConfig;
+
+fn main() {
+    let cfg = FleetConfig {
+        num_products: 150,
+        num_sources: 25,
+        now: 20,
+        coverage: (0.3, 0.8),
+        error_rate: (0.02, 0.3),
+        null_rate: (0.0, 0.1),
+        staleness: (0, 12),
+        ..FleetConfig::default()
+    };
+    let f = fleet(&cfg, 2026);
+    let mut w = session(&f, UserContext::completeness_first());
+    let out = w.wrangle().unwrap();
+    println!(
+        "selected {} sources, {} entities",
+        out.selected_sources.len(),
+        out.entities
+    );
+
+    // Mapping health per source: which target fields are bound?
+    for s in f.registry.iter().take(8) {
+        let m = wrangler_mapping::generate_mapping(
+            &s.table,
+            w.target(),
+            &wrangler_bench::target_sample(&f),
+            Some(&wrangler_context::Ontology::ecommerce()),
+            &wrangler_match::MatchConfig::default(),
+        );
+        let bound: Vec<String> = w
+            .target()
+            .fields()
+            .iter()
+            .zip(&m.bindings)
+            .map(|(fld, b)| match b {
+                Some(i) => format!("{}<-{}", fld.name, s.table.schema().names()[*i]),
+                None => format!("{}<-∅", fld.name),
+            })
+            .collect();
+        println!(
+            "{}: [{}] cov={:.2}",
+            s.meta.name,
+            bound.join(", "),
+            m.coverage()
+        );
+    }
+    // Entity size histogram.
+    let mut sizes = std::collections::HashMap::new();
+    for r in 0..w.union_len() {
+        *sizes
+            .entry(w.entity_of_union_row(r).unwrap())
+            .or_insert(0usize) += 1;
+    }
+    let mut hist = std::collections::BTreeMap::new();
+    for (_, n) in sizes {
+        *hist.entry(n).or_insert(0usize) += 1;
+    }
+    println!("cluster-size histogram (size: count): {hist:?}");
+    println!("union rows: {}", w.union_len());
+}

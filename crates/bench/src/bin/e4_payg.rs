@@ -1,0 +1,184 @@
+//! E4 — the pay-as-you-go curve and the value of *shared* feedback (§2.4,
+//! §3.2, Example 5).
+//!
+//! Claims under test:
+//! (a) quality rises with the feedback budget (pay-as-you-go: every payment
+//!     buys improvement);
+//! (b) at equal budget, feedback routed to *all* components (the paper's
+//!     proposal) beats the state-of-the-art siloed regime where each item
+//!     only refreshes the artifact it was given on.
+
+use wrangler_bench::{default_fleet_config, fleet, header, row, session};
+use wrangler_context::UserContext;
+use wrangler_core::eval::score_against_truth;
+use wrangler_core::{suggest_feedback_targets, Wrangler};
+use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
+use wrangler_sources::{FleetConfig, SyntheticFleet};
+
+/// One feedback round: the analyst samples `k` delivered prices (rotating
+/// offset so rounds touch different rows) and judges each against the truth.
+fn feedback_round(
+    w: &mut Wrangler,
+    f: &SyntheticFleet,
+    table: &wrangler_table::Table,
+    k: usize,
+    round: usize,
+) -> usize {
+    let price_attr = w.target().index_of("price").unwrap();
+    let mut given = 0;
+    let n = table.num_rows().max(1);
+    for step in 0..n {
+        if given == k {
+            break;
+        }
+        let rowi = (step * 7 + round * 131) % n;
+        if let (Some(sku), Some(p)) = (
+            table.get_named(rowi, "sku").unwrap().as_str(),
+            table.get_named(rowi, "price").unwrap().as_f64(),
+        ) {
+            let correct = f.truth.price_is_correct(sku, p, 0.005);
+            w.give_feedback(FeedbackItem::expert(
+                FeedbackTarget::Value {
+                    entity: rowi,
+                    attr: price_attr,
+                    value: None,
+                },
+                if correct {
+                    Verdict::Positive
+                } else {
+                    Verdict::Negative
+                },
+                1.0,
+            ));
+            given += 1;
+        }
+    }
+    given
+}
+
+fn run_mode(f: &SyntheticFleet, mode: RoutingMode, budgets: &[usize]) -> Vec<(usize, f64)> {
+    let mut w = session(f, UserContext::balanced("e4"));
+    w.routing = mode;
+    let mut out = w.wrangle().expect("wrangle");
+    let mut curve = Vec::new();
+    let mut spent = 0usize;
+    for (round, &b) in budgets.iter().enumerate() {
+        let need = b - spent;
+        if need > 0 {
+            spent += feedback_round(&mut w, f, &out.table, need, round);
+            out = w.rewrangle().expect("rewrangle");
+        }
+        let s = score_against_truth(&out.table, &f.truth, 0.005).expect("score");
+        curve.push((spent, s.correct_price_yield));
+    }
+    curve
+}
+
+/// Shared routing with *active* targeting: each round asks about the slots
+/// the system is least sure of (see `wrangler_core::active`).
+fn run_targeted(f: &SyntheticFleet, budgets: &[usize]) -> Vec<(usize, f64)> {
+    let mut w = session(f, UserContext::balanced("e4"));
+    let mut out = w.wrangle().expect("wrangle");
+    let price_attr = w.target().index_of("price").unwrap();
+    let mut curve = Vec::new();
+    let mut spent = 0usize;
+    for &b in budgets {
+        let need = b.saturating_sub(spent);
+        if need > 0 {
+            for sugg in suggest_feedback_targets(&w, price_attr, need) {
+                let sku = out.table.get_named(sugg.entity, "sku").unwrap().render();
+                let correct = sugg
+                    .value
+                    .as_f64()
+                    .is_some_and(|p| f.truth.price_is_correct(&sku, p, 0.005));
+                w.give_feedback(FeedbackItem::expert(
+                    FeedbackTarget::Value {
+                        entity: sugg.entity,
+                        attr: price_attr,
+                        value: Some(sugg.value.clone()),
+                    },
+                    if correct {
+                        Verdict::Positive
+                    } else {
+                        Verdict::Negative
+                    },
+                    1.0,
+                ));
+                spent += 1;
+            }
+            out = w.rewrangle().expect("rewrangle");
+        }
+        let s = score_against_truth(&out.table, &f.truth, 0.005).expect("score");
+        curve.push((spent, s.correct_price_yield));
+    }
+    curve
+}
+
+fn main() {
+    println!("E4: pay-as-you-go feedback, shared vs siloed routing");
+    println!("(25 sources, 200 products; yield = correct prices / catalog)\n");
+    let cfg = FleetConfig {
+        num_sources: 25,
+        error_rate: (0.05, 0.35),
+        ..default_fleet_config()
+    };
+    let budgets = [0usize, 25, 50, 100, 200, 400];
+    // Average over seeds: feedback effects are stochastic in which rows get
+    // judged.
+    let seeds = [41u64, 42, 43];
+    let mut shared_avg = vec![0.0f64; budgets.len()];
+    let mut siloed_avg = vec![0.0f64; budgets.len()];
+    let mut targeted_avg = vec![0.0f64; budgets.len()];
+    for &seed in &seeds {
+        let f = fleet(&cfg, seed);
+        for (i, (_, y)) in run_mode(&f, RoutingMode::Shared, &budgets)
+            .iter()
+            .enumerate()
+        {
+            shared_avg[i] += y / seeds.len() as f64;
+        }
+        for (i, (_, y)) in run_mode(&f, RoutingMode::Siloed, &budgets)
+            .iter()
+            .enumerate()
+        {
+            siloed_avg[i] += y / seeds.len() as f64;
+        }
+        for (i, (_, y)) in run_targeted(&f, &budgets).iter().enumerate() {
+            targeted_avg[i] += y / seeds.len() as f64;
+        }
+    }
+    let widths = [8, 13, 13, 15, 8];
+    println!(
+        "{}",
+        header(
+            &[
+                "budget",
+                "shared_yield",
+                "siloed_yield",
+                "targeted_yield",
+                "gain"
+            ],
+            &widths
+        )
+    );
+    for (i, &b) in budgets.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    b.to_string(),
+                    format!("{:.3}", shared_avg[i]),
+                    format!("{:.3}", siloed_avg[i]),
+                    format!("{:.3}", targeted_avg[i]),
+                    format!("{:+.3}", shared_avg[i] - siloed_avg[i]),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nShape expected: all curves rise with budget (pay-as-you-go);");
+    println!("shared routing dominates siloed at equal budget (one judgement");
+    println!("also informs source trust and mapping beliefs); active targeting");
+    println!("of uncertain slots extracts more value per judgement than");
+    println!("round-robin sampling at small budgets.");
+}

@@ -1,0 +1,200 @@
+//! E6 — extraction: induction economy and informed repair (§2.2, Example 3,
+//! WADaR \[29\]).
+//!
+//! Claims under test:
+//! (a) wrapper induction needs only a handful of annotated records to reach
+//!     full extraction accuracy (the \[12\] crowd-learning premise);
+//! (b) after template drift, informed repair (re-induction from already-
+//!     integrated data) restores accuracy with ZERO fresh annotations, where
+//!     the classical fix costs a full re-annotation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wrangler_bench::{header, row};
+use wrangler_extract::induce::Annotation;
+use wrangler_extract::repair::{drift_detected, repair_wrapper, RepairConfig};
+use wrangler_extract::{induce_wrapper, Template};
+use wrangler_table::{Table, Value};
+
+/// A catalog of `n` products with distinctive names.
+fn catalog(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                Value::from(format!("P{i:04}")),
+                Value::from(format!(
+                    "{} {} {}",
+                    ["Turbo", "Ultra", "Mini", "Mega"][rng.gen_range(0..4)],
+                    ["Widget", "Gadget", "Flange", "Dynamo"][rng.gen_range(0..4)],
+                    i
+                )),
+                Value::Float((rng.gen_range(500..50000) as f64) / 100.0),
+                // Real listings omit fields: 15% of brands are absent.
+                if rng.gen::<f64>() < 0.15 {
+                    Value::Null
+                } else {
+                    Value::from(["Acme", "Bolt", "Stark"][rng.gen_range(0..3)])
+                },
+            ]
+        })
+        .collect();
+    Table::literal(&["sku", "name", "price", "brand"], rows).expect("aligned")
+}
+
+fn annotation(t: &Table, i: usize) -> Annotation {
+    // Annotators can only mark what is on the page: null fields are absent.
+    let pairs: Vec<(String, String)> = ["sku", "name", "price", "brand"]
+        .iter()
+        .filter_map(|f| {
+            let v = t.get_named(i, f).unwrap();
+            (!v.is_null()).then(|| (f.to_string(), v.render()))
+        })
+        .collect();
+    Annotation { values: pairs }
+}
+
+/// Cell-level accuracy of an extraction against the truth table (same row
+/// count assumed; 0 if row counts differ).
+fn extraction_accuracy(got: &Table, want: &Table) -> f64 {
+    if got.num_rows() != want.num_rows() {
+        return 0.0;
+    }
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for r in 0..want.num_rows() {
+        for f in want.schema().fields() {
+            total += 1;
+            let w = want.get_named(r, &f.name).unwrap();
+            if let Ok(c) = got.schema().index_of(&f.name) {
+                if got.get(r, c).unwrap() == w {
+                    ok += 1;
+                }
+            }
+        }
+    }
+    ok as f64 / total.max(1) as f64
+}
+
+fn main() {
+    println!("E6a: induction accuracy vs number of annotated examples");
+    println!("(100-record pages, 20 seeded template variants each)\n");
+    let widths = [13, 10, 10];
+    println!(
+        "{}",
+        header(&["annotations", "accuracy", "failures"], &widths)
+    );
+    for k in 1..=5usize {
+        let mut acc = 0.0;
+        let mut failures = 0usize;
+        let trials = 20;
+        for t in 0..trials {
+            let data = catalog(100, t as u64);
+            let template = Template::listing(&["sku", "name", "price", "brand"]).drift(t as u64);
+            let page = template.render(&data);
+            let anns: Vec<Annotation> = (0..k).map(|j| annotation(&data, 7 + j * 13)).collect();
+            match induce_wrapper(&page, &anns) {
+                Ok(w) => {
+                    let got = w.extract(&page).expect("extract");
+                    acc += extraction_accuracy(&got.table, &data) / trials as f64;
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        println!(
+            "{}",
+            row(
+                &[k.to_string(), format!("{acc:.3}"), failures.to_string()],
+                &widths
+            )
+        );
+    }
+
+    println!("\nE6b: drift repair — informed (0 annotations) vs broken vs re-annotate");
+    let widths = [24, 10, 13];
+    println!(
+        "{}",
+        header(&["condition", "accuracy", "annotations"], &widths)
+    );
+    let trials = 20;
+    let mut broken_acc = 0.0;
+    let mut repaired_acc = 0.0;
+    let mut reannotated_acc = 0.0;
+    let mut repairs_ok = 0usize;
+    for t in 0..trials {
+        let data = catalog(100, 1000 + t as u64);
+        let template = Template::listing(&["sku", "name", "price", "brand"]);
+        let page = template.render(&data);
+        let wrapper =
+            induce_wrapper(&page, &[annotation(&data, 3), annotation(&data, 42)]).expect("induce");
+        let integrated = wrapper.extract(&page).expect("extract").table;
+        // Drift + price changes between visits.
+        let drifted_template = template.drift(7000 + t as u64);
+        let mut new_data = data.clone();
+        for r in 0..new_data.num_rows() {
+            let p = new_data.get_named(r, "price").unwrap().as_f64().unwrap();
+            new_data
+                .set(r, 2, Value::Float((p * 1.07 * 100.0).round() / 100.0))
+                .unwrap();
+        }
+        let new_page = drifted_template.render(&new_data);
+
+        let broken = wrapper.extract(&new_page).expect("extract");
+        assert!(drift_detected(&broken, 0.5));
+        broken_acc += extraction_accuracy(&broken.table, &new_data) / trials as f64;
+
+        let cfg = RepairConfig {
+            stable_columns: vec!["sku".into(), "name".into(), "brand".into()],
+            ..RepairConfig::default()
+        };
+        if let Some(outcome) = repair_wrapper(&wrapper, &new_page, &integrated, &cfg) {
+            let fixed = outcome.wrapper.extract(&new_page).expect("extract");
+            repaired_acc += extraction_accuracy(&fixed.table, &new_data) / trials as f64;
+            repairs_ok += 1;
+        }
+        let re = induce_wrapper(
+            &new_page,
+            &[annotation(&new_data, 3), annotation(&new_data, 42)],
+        )
+        .expect("re-induce");
+        let re_ex = re.extract(&new_page).expect("extract");
+        reannotated_acc += extraction_accuracy(&re_ex.table, &new_data) / trials as f64;
+    }
+    println!(
+        "{}",
+        row(
+            &[
+                "old wrapper (broken)".into(),
+                format!("{broken_acc:.3}"),
+                "0".into()
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                format!("informed repair ({repairs_ok}/{trials} ok)"),
+                format!("{repaired_acc:.3}"),
+                "0".into(),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "human re-annotation".into(),
+                format!("{reannotated_acc:.3}"),
+                "2/page".into()
+            ],
+            &widths
+        )
+    );
+    println!("\nShape expected: 1–2 annotations suffice (E6a); after drift the old");
+    println!("wrapper collapses, informed repair restores near-oracle accuracy at");
+    println!("zero annotation cost, matching human re-annotation (E6b).");
+}

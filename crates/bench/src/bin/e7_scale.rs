@@ -1,0 +1,186 @@
+//! E7 — scalability (§4.3).
+//!
+//! Claims under test:
+//! (a) blocking makes ER scale: candidate pairs grow ~linearly with records
+//!     vs quadratically for all-pairs, at near-identical recall;
+//! (b) feedback-induced reprocessing is incremental: work after a feedback
+//!     item is a small fraction of a full re-wrangle, and the fraction
+//!     shrinks with scale (Example 5's closing requirement).
+
+use std::time::Instant;
+
+use wrangler_bench::{default_fleet_config, fleet, header, row, session};
+use wrangler_context::UserContext;
+use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
+use wrangler_resolve::{
+    candidates_blocked, candidates_naive, cluster_pairs, match_pairs, ErConfig, FieldSim, SimKind,
+};
+use wrangler_sources::FleetConfig;
+use wrangler_table::Table;
+
+fn er_table(n_products: usize, n_sources: usize, seed: u64) -> (Table, usize) {
+    let cfg = FleetConfig {
+        num_products: n_products,
+        num_sources: n_sources,
+        rename_rate: 0.0,
+        cryptic_rate: 0.0,
+        drop_rate: 0.0,
+        ..default_fleet_config()
+    };
+    let f = fleet(&cfg, seed);
+    // Stack all source tables (identical canonical schema here).
+    let mut out = f.registry.iter().next().unwrap().table.clone();
+    for s in f.registry.iter().skip(1) {
+        out = wrangler_table::ops::union(&out, &s.table).expect("same schema");
+    }
+    (out, n_products)
+}
+
+fn er_cfg() -> ErConfig {
+    ErConfig {
+        fields: vec![
+            FieldSim {
+                column: "sku".into(),
+                weight: 2.0,
+                kind: SimKind::Exact,
+            },
+            FieldSim {
+                column: "name".into(),
+                weight: 3.0,
+                kind: SimKind::Text,
+            },
+            FieldSim {
+                column: "brand".into(),
+                weight: 1.0,
+                kind: SimKind::Text,
+            },
+        ],
+        threshold: 0.8,
+    }
+}
+
+fn main() {
+    println!("E7a: ER candidate generation — naive vs blocking");
+    let widths = [8, 12, 12, 9, 9, 10, 10];
+    println!(
+        "{}",
+        header(
+            &[
+                "rows",
+                "naive_pairs",
+                "block_pairs",
+                "naive_s",
+                "block_s",
+                "n_clusters",
+                "b_clusters"
+            ],
+            &widths
+        )
+    );
+    for &(products, sources) in &[(100usize, 5usize), (200, 10), (400, 15), (800, 20)] {
+        let (t, _) = er_table(products, sources, 7);
+        let n = t.num_rows();
+        let cfg = er_cfg();
+
+        // The naive arm is quadratic; above ~4k rows we report the pair
+        // count (exact) and skip the scoring (the point is already made).
+        let run_naive = n <= 4000;
+        let start = Instant::now();
+        let naive = candidates_naive(n);
+        let (naive_clusters, naive_s) = if run_naive {
+            let naive_pairs = match_pairs(&t, &naive, &cfg).expect("match");
+            let c = cluster_pairs(n, naive_pairs.iter().map(|p| (p.i, p.j))).len();
+            (
+                c.to_string(),
+                format!("{:.2}", start.elapsed().as_secs_f64()),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+
+        let start = Instant::now();
+        let blocked = candidates_blocked(&t, "name").expect("block");
+        let blocked_pairs = match_pairs(&t, &blocked, &cfg).expect("match");
+        let blocked_clusters = cluster_pairs(n, blocked_pairs.iter().map(|p| (p.i, p.j))).len();
+        let block_s = start.elapsed().as_secs_f64();
+
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    naive.len().to_string(),
+                    blocked.len().to_string(),
+                    naive_s,
+                    format!("{block_s:.2}"),
+                    naive_clusters,
+                    blocked_clusters.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!("\nE7b: incremental vs full reprocessing after one feedback item");
+    let widths = [10, 12, 12, 10, 12, 12];
+    println!(
+        "{}",
+        header(
+            &[
+                "sources",
+                "full_units",
+                "inc_units",
+                "fraction",
+                "full_ms",
+                "inc_ms"
+            ],
+            &widths
+        )
+    );
+    for &n_sources in &[10usize, 20, 40] {
+        let cfg = FleetConfig {
+            num_sources: n_sources,
+            ..default_fleet_config()
+        };
+        let f = fleet(&cfg, 70 + n_sources as u64);
+        let mut w = session(&f, UserContext::balanced("e7"));
+        w.routing = RoutingMode::Siloed; // isolate the slot-repair path
+        let start = Instant::now();
+        let out = w.wrangle().expect("wrangle");
+        let full_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let full = w.working.work;
+        let price_attr = w.target().index_of("price").unwrap();
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Value {
+                entity: 0,
+                attr: price_attr,
+                value: None,
+            },
+            Verdict::Negative,
+            1.0,
+        ));
+        let before = w.working.work;
+        let start = Instant::now();
+        let _ = w.rewrangle().expect("rewrangle");
+        let inc_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let inc = w.working.work - before;
+        println!(
+            "{}",
+            row(
+                &[
+                    n_sources.to_string(),
+                    full.total().to_string(),
+                    inc.total().to_string(),
+                    format!("{:.5}", inc.total() as f64 / full.total().max(1) as f64),
+                    format!("{full_ms:.0}"),
+                    format!("{inc_ms:.1}"),
+                ],
+                &widths
+            )
+        );
+        let _ = out;
+    }
+    println!("\nShape expected: naive pairs grow ~n² while blocked pairs grow ~n·b");
+    println!("with (near-)identical clusters; incremental work is a vanishing");
+    println!("fraction of a full wrangle and the fraction shrinks with scale.");
+}

@@ -1,0 +1,108 @@
+//! `wrangler-bench` — shared harness utilities for the experiment binaries
+//! (`src/bin/e*.rs`) and Criterion benches (`benches/`).
+//!
+//! Each experiment binary regenerates one table/series of EXPERIMENTS.md on
+//! stdout. The helpers here keep workload construction identical across
+//! experiments so their numbers are comparable.
+
+use wrangler_context::{DataContext, Ontology, UserContext};
+use wrangler_core::Wrangler;
+use wrangler_sources::{FleetConfig, SyntheticFleet};
+use wrangler_table::{DataType, Schema, Table, Value};
+
+/// Default experiment fleet configuration; experiments override fields.
+pub fn default_fleet_config() -> FleetConfig {
+    FleetConfig {
+        num_products: 200,
+        num_sources: 20,
+        now: 20,
+        coverage: (0.3, 0.8),
+        error_rate: (0.02, 0.25),
+        null_rate: (0.0, 0.1),
+        staleness: (0, 10),
+        ..FleetConfig::default()
+    }
+}
+
+/// Generate the standard fleet for an experiment.
+pub fn fleet(cfg: &FleetConfig, seed: u64) -> SyntheticFleet {
+    wrangler_sources::synthetic::generate_fleet(cfg, seed)
+}
+
+/// Target sample = master catalog + an (all-null, Float-typed) price column.
+pub fn target_sample(fleet: &SyntheticFleet) -> Table {
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let schema = Schema::new(fields).expect("unique names");
+    let mut columns: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    columns.push(vec![Value::Null; catalog.num_rows()]);
+    Table::from_columns(schema, columns).expect("aligned")
+}
+
+/// Build a ready-to-run wrangling session over a fleet.
+pub fn session(fleet: &SyntheticFleet, user: UserContext) -> Wrangler {
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .expect("catalog keyed by sku");
+    let mut w = Wrangler::new(user, ctx, target_sample(fleet));
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+    w
+}
+
+/// Print a row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a header + underline.
+pub fn header(names: &[&str], widths: &[usize]) -> String {
+    let h = row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let line = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    format!("{h}\n{line}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_wrangles() {
+        let cfg = FleetConfig {
+            num_products: 20,
+            num_sources: 3,
+            ..default_fleet_config()
+        };
+        let f = fleet(&cfg, 1);
+        let mut w = session(&f, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        assert!(out.entities > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let widths = [5, 8];
+        let h = header(&["a", "b"], &widths);
+        assert!(h.contains("    a"));
+        assert!(h.lines().count() == 2);
+        let r = row(&["1".into(), "2.5".into()], &widths);
+        assert!(r.ends_with("2.5"));
+    }
+}

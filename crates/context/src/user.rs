@@ -1,0 +1,223 @@
+//! The declarative user context.
+//!
+//! §4.2: "the user context must provide a declarative specification of the
+//! user's requirements and priorities, both functional (data) and
+//! non-functional (such as quality and cost trade-offs), so that the
+//! components ... can be automatically and flexibly composed."
+
+use crate::ahp::AhpMatrix;
+use crate::criteria::{Criterion, QualityVector, ALL_CRITERIA};
+
+/// A user's declarative requirements for a wrangling task.
+#[derive(Debug, Clone)]
+pub struct UserContext {
+    /// Human-readable label (e.g. "routine price comparison").
+    pub name: String,
+    /// Criterion weights (aligned with [`ALL_CRITERIA`]); normalized.
+    pub weights: [f64; 6],
+    /// Consistency ratio of the AHP judgements that produced the weights.
+    pub consistency_ratio: f64,
+    /// Target columns the user needs in the wrangled output (functional
+    /// requirement); empty means "whatever the integration produces".
+    pub required_columns: Vec<String>,
+    /// Minimum acceptable confidence for delivered values in \[0, 1\].
+    pub min_confidence: f64,
+    /// Budget in abstract cost units for source access + crowd feedback.
+    pub budget: f64,
+    /// Staleness horizon in ticks: data older than this scores 0 timeliness.
+    pub freshness_horizon: u64,
+    /// Optional cap on the number of sources to integrate.
+    pub max_sources: Option<usize>,
+}
+
+impl UserContext {
+    /// Build from AHP judgements over the six criteria.
+    pub fn from_ahp(name: impl Into<String>, matrix: &AhpMatrix) -> Self {
+        assert_eq!(
+            matrix.len(),
+            ALL_CRITERIA.len(),
+            "matrix must cover all criteria"
+        );
+        let w = matrix.weights();
+        let mut weights = [0.0; 6];
+        weights.copy_from_slice(&w.weights);
+        UserContext {
+            name: name.into(),
+            weights,
+            consistency_ratio: w.consistency_ratio,
+            required_columns: Vec::new(),
+            min_confidence: 0.5,
+            budget: f64::INFINITY,
+            freshness_horizon: u64::MAX,
+            max_sources: None,
+        }
+    }
+
+    /// Uniform weights (the "no stated preference" default).
+    pub fn balanced(name: impl Into<String>) -> Self {
+        UserContext::from_ahp(name, &AhpMatrix::for_criteria())
+    }
+
+    /// Example 2's routine price-comparison profile: "the user may prefer
+    /// features such as accuracy and timeliness to completeness".
+    pub fn accuracy_first() -> Self {
+        let acc = Criterion::Accuracy.index();
+        let tim = Criterion::Timeliness.index();
+        let com = Criterion::Completeness.index();
+        let m = AhpMatrix::for_criteria()
+            .with_judgement(acc, com, 5.0)
+            .with_judgement(tim, com, 3.0)
+            .with_judgement(acc, Criterion::Relevance.index(), 3.0)
+            .with_judgement(tim, Criterion::Relevance.index(), 2.0)
+            .with_judgement(acc, Criterion::Cost.index(), 3.0)
+            .with_judgement(acc, Criterion::Consistency.index(), 2.0);
+        let mut ctx = UserContext::from_ahp("routine price comparison (accuracy-first)", &m);
+        // Calibrated confidences (freshness-tempered agreement shares) run
+        // lower than raw vote shares; 0.6 delivers the ~80%+-correct tier.
+        ctx.min_confidence = 0.6;
+        ctx
+    }
+
+    /// Example 2's issue-investigation profile: "may require a more complete
+    /// picture ... at the risk of presenting the user with more incorrect or
+    /// out-of-date data".
+    pub fn completeness_first() -> Self {
+        let acc = Criterion::Accuracy.index();
+        let com = Criterion::Completeness.index();
+        let m = AhpMatrix::for_criteria()
+            .with_judgement(com, acc, 5.0)
+            .with_judgement(com, Criterion::Timeliness.index(), 5.0)
+            .with_judgement(com, Criterion::Cost.index(), 3.0)
+            .with_judgement(com, Criterion::Consistency.index(), 3.0)
+            .with_judgement(com, Criterion::Relevance.index(), 2.0);
+        let mut ctx = UserContext::from_ahp("issue investigation (completeness-first)", &m);
+        ctx.min_confidence = 0.3;
+        ctx
+    }
+
+    /// Set the functional requirement columns; builder style.
+    pub fn with_required_columns(mut self, cols: &[&str]) -> Self {
+        self.required_columns = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Set the budget; builder style.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Set the freshness horizon; builder style.
+    pub fn with_freshness_horizon(mut self, ticks: u64) -> Self {
+        self.freshness_horizon = ticks;
+        self
+    }
+
+    /// Set the source cap; builder style.
+    pub fn with_max_sources(mut self, n: usize) -> Self {
+        self.max_sources = Some(n);
+        self
+    }
+
+    /// Weight of one criterion.
+    pub fn weight(&self, c: Criterion) -> f64 {
+        self.weights[c.index()]
+    }
+
+    /// Multi-criteria utility of a quality vector under this context.
+    pub fn utility(&self, q: &QualityVector) -> f64 {
+        q.utility(&self.weights)
+    }
+
+    /// Timeliness score of data of the given age under this context's
+    /// horizon: linear decay from 1 (fresh) to 0 (at or past the horizon).
+    pub fn timeliness_of_age(&self, age: u64) -> f64 {
+        if self.freshness_horizon == u64::MAX {
+            return 1.0;
+        }
+        if self.freshness_horizon == 0 {
+            return if age == 0 { 1.0 } else { 0.0 };
+        }
+        (1.0 - age as f64 / self.freshness_horizon as f64).clamp(0.0, 1.0)
+    }
+
+    /// Rank candidate quality vectors by utility, best first, returning
+    /// indices (ties broken by index for determinism).
+    pub fn rank(&self, candidates: &[QualityVector]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.utility(&candidates[b])
+                .partial_cmp(&self.utility(&candidates[a]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_express_example_2() {
+        let acc = UserContext::accuracy_first();
+        let com = UserContext::completeness_first();
+        assert!(acc.weight(Criterion::Accuracy) > acc.weight(Criterion::Completeness));
+        assert!(com.weight(Criterion::Completeness) > com.weight(Criterion::Accuracy));
+        assert!(acc.consistency_ratio <= 0.1, "cr={}", acc.consistency_ratio);
+        assert!(com.consistency_ratio <= 0.1, "cr={}", com.consistency_ratio);
+    }
+
+    #[test]
+    fn contexts_rank_candidates_differently() {
+        // Candidate A: accurate but sparse. Candidate B: complete but sloppy.
+        let a = QualityVector::neutral()
+            .with(Criterion::Accuracy, 0.95)
+            .with(Criterion::Completeness, 0.4);
+        let b = QualityVector::neutral()
+            .with(Criterion::Accuracy, 0.5)
+            .with(Criterion::Completeness, 0.95);
+        let acc = UserContext::accuracy_first();
+        let com = UserContext::completeness_first();
+        assert_eq!(acc.rank(&[a, b])[0], 0);
+        assert_eq!(com.rank(&[a, b])[0], 1);
+    }
+
+    #[test]
+    fn balanced_weights_are_uniform() {
+        let ctx = UserContext::balanced("x");
+        for c in ALL_CRITERIA {
+            assert!((ctx.weight(c) - 1.0 / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timeliness_decay() {
+        let ctx = UserContext::balanced("x").with_freshness_horizon(10);
+        assert_eq!(ctx.timeliness_of_age(0), 1.0);
+        assert!((ctx.timeliness_of_age(5) - 0.5).abs() < 1e-12);
+        assert_eq!(ctx.timeliness_of_age(10), 0.0);
+        assert_eq!(ctx.timeliness_of_age(99), 0.0);
+        let forever = UserContext::balanced("y");
+        assert_eq!(forever.timeliness_of_age(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn builders() {
+        let ctx = UserContext::balanced("x")
+            .with_required_columns(&["sku", "price"])
+            .with_budget(20.0)
+            .with_max_sources(5);
+        assert_eq!(ctx.required_columns, vec!["sku", "price"]);
+        assert_eq!(ctx.budget, 20.0);
+        assert_eq!(ctx.max_sources, Some(5));
+    }
+
+    #[test]
+    fn rank_is_deterministic_under_ties() {
+        let q = QualityVector::neutral();
+        let ctx = UserContext::balanced("x");
+        assert_eq!(ctx.rank(&[q, q, q]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Ground-truth evaluation against the synthetic fleet.
+//!
+//! Because the fleet generator knows the world it derived the sources from,
+//! every experiment can score its output exactly: price accuracy, catalog
+//! coverage, and their harmonic combination. The *system* never sees these
+//! numbers during wrangling — they are the experimenter's oracle.
+
+use std::collections::HashMap;
+
+use wrangler_sources::GroundTruth;
+use wrangler_table::{Table, Value};
+
+/// Scores of a wrangled table against the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// Fraction of catalog products represented by exactly one output row
+    /// with the correct identity.
+    pub coverage: f64,
+    /// Among delivered (non-null) prices of identified products, the
+    /// fraction within tolerance of the live true price.
+    pub price_accuracy: f64,
+    /// Fraction of catalog products with a delivered, correct price —
+    /// the end-to-end yield ("did I learn the competitor's price?").
+    pub correct_price_yield: f64,
+    /// Harmonic mean of coverage and price accuracy.
+    pub f1: f64,
+}
+
+/// Score a wrangled table (must expose `sku` and `price` columns) against
+/// the truth. `tol` is the relative price tolerance.
+pub fn score_against_truth(
+    table: &Table,
+    truth: &GroundTruth,
+    tol: f64,
+) -> wrangler_table::Result<Scores> {
+    let sku_col = table.column_named("sku")?;
+    let price_col = table.column_named("price")?;
+    // First output row per recognized sku (duplicates penalize coverage
+    // implicitly: they do not add new products).
+    let mut seen: HashMap<&str, &Value> = HashMap::new();
+    for (s, p) in sku_col.iter().zip(price_col.iter()) {
+        if let Some(sku) = s.as_str() {
+            if truth.index_of(sku).is_some() {
+                seen.entry(sku).or_insert(p);
+            }
+        }
+    }
+    let found = seen.len();
+    let total = truth.products.len().max(1);
+    let mut delivered = 0usize;
+    let mut correct = 0usize;
+    for (sku, price) in &seen {
+        if let Some(p) = price.as_f64() {
+            delivered += 1;
+            if truth.price_is_correct(sku, p, tol) {
+                correct += 1;
+            }
+        }
+    }
+    let coverage = found as f64 / total as f64;
+    let price_accuracy = if delivered == 0 {
+        0.0
+    } else {
+        correct as f64 / delivered as f64
+    };
+    let correct_price_yield = correct as f64 / total as f64;
+    let f1 = if coverage + price_accuracy == 0.0 {
+        0.0
+    } else {
+        2.0 * coverage * price_accuracy / (coverage + price_accuracy)
+    };
+    Ok(Scores {
+        coverage,
+        price_accuracy,
+        correct_price_yield,
+        f1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_sources::FleetConfig;
+
+    fn truth() -> GroundTruth {
+        wrangler_sources::synthetic::generate_fleet(
+            &FleetConfig {
+                num_products: 10,
+                num_sources: 1,
+                now: 5,
+                ..FleetConfig::default()
+            },
+            3,
+        )
+        .truth
+    }
+
+    #[test]
+    fn perfect_table_scores_one() {
+        let t = truth();
+        let rows: Vec<Vec<Value>> = t
+            .products
+            .iter()
+            .enumerate()
+            .map(|(i, p)| vec![p.sku.clone().into(), Value::Float(t.price_at(i, t.now))])
+            .collect();
+        let table = Table::literal(&["sku", "price"], rows).unwrap();
+        let s = score_against_truth(&table, &t, 1e-9).unwrap();
+        assert_eq!(s.coverage, 1.0);
+        assert_eq!(s.price_accuracy, 1.0);
+        assert_eq!(s.correct_price_yield, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn wrong_and_missing_prices_counted() {
+        let t = truth();
+        let mut rows = Vec::new();
+        for (i, p) in t.products.iter().enumerate().take(5) {
+            let price = if i < 2 {
+                Value::Float(t.price_at(i, t.now)) // correct
+            } else if i < 4 {
+                Value::Float(9999.0) // wrong
+            } else {
+                Value::Null // withheld
+            };
+            rows.push(vec![p.sku.clone().into(), price]);
+        }
+        let table = Table::literal(&["sku", "price"], rows).unwrap();
+        let s = score_against_truth(&table, &t, 1e-6).unwrap();
+        assert_eq!(s.coverage, 0.5);
+        assert_eq!(s.price_accuracy, 0.5); // 2 of 4 delivered
+        assert_eq!(s.correct_price_yield, 0.2); // 2 of 10
+    }
+
+    #[test]
+    fn unknown_skus_do_not_inflate_coverage() {
+        let t = truth();
+        let table = Table::literal(
+            &["sku", "price"],
+            vec![vec!["GHOST-1".into(), Value::Float(1.0)]],
+        )
+        .unwrap();
+        let s = score_against_truth(&table, &t, 1e-6).unwrap();
+        assert_eq!(s.coverage, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_double_count() {
+        let t = truth();
+        let sku = t.products[0].sku.clone();
+        let price = t.price_at(0, t.now);
+        let table = Table::literal(
+            &["sku", "price"],
+            vec![
+                vec![sku.clone().into(), Value::Float(price)],
+                vec![sku.into(), Value::Float(9999.0)],
+            ],
+        )
+        .unwrap();
+        let s = score_against_truth(&table, &t, 1e-6).unwrap();
+        assert_eq!(s.coverage, 0.1);
+        assert_eq!(s.price_accuracy, 1.0); // first row wins
+    }
+}

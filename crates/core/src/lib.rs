@@ -1,0 +1,34 @@
+//! `wrangler-core` — the wrangling architecture of Figure 1, assembled.
+//!
+//! This crate composes every component crate into the end-to-end system the
+//! paper envisions: Data Sources → Data Extraction → Data Integration →
+//! Wrangled Data, with a shared **Working Data** store holding auxiliary
+//! data (user + data context), quality analyses, feedback and uncertainty —
+//! and *no hard-wired workflow*: a [`planner::Plan`] derived from the user
+//! context decides selection strategy, fusion strategy, ER thresholds and
+//! confidence gating ("autonomic" composition, §4.2).
+//!
+//! * [`working`] — artifact/dependency bookkeeping and work counters, the
+//!   basis of incremental (pay-as-you-go) recomputation;
+//! * [`planner`] — derives the concrete plan from the user context;
+//! * [`wrangler`] — the [`wrangler::Wrangler`] session: add sources,
+//!   `wrangle()`, give feedback, re-wrangle incrementally;
+//! * [`baseline`] — the manually specified ETL comparator with effort
+//!   accounting (what §1 argues cannot scale);
+//! * [`eval`] — ground-truth scoring against the synthetic fleet, used by
+//!   every experiment.
+
+pub mod active;
+pub mod baseline;
+pub mod eval;
+pub mod planner;
+pub mod provenance;
+pub mod uncertain;
+pub mod working;
+pub mod wrangler;
+
+pub use active::suggest_feedback_targets;
+pub use planner::Plan;
+pub use provenance::provenance_table;
+pub use uncertain::UncertainView;
+pub use wrangler::{WrangleOutcome, Wrangler};

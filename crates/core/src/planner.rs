@@ -1,0 +1,127 @@
+//! The autonomic planner: user context in, concrete plan out.
+//!
+//! §4.2: "the requirements of automation, refined on a pay-as-you-go basis
+//! taking into account the user context, is at odds with a hard-wired,
+//! user-specified data manipulation workflow." Nothing in the pipeline is
+//! hard-wired: the plan below — which sources to take, how to fuse, how
+//! strictly to gate — is *derived* from the declarative [`UserContext`], and
+//! re-derived whenever the context changes.
+
+use wrangler_context::{Criterion, UserContext};
+use wrangler_fusion::Strategy;
+
+/// How sources are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Integrate everything relevant (the classical default).
+    AllRelevant,
+    /// Marginal-gain selection, "less is more" \[16\].
+    MarginalGain,
+}
+
+/// The derived execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Source selection strategy.
+    pub selection: SelectionStrategy,
+    /// Fusion strategy for conflicting claims.
+    pub fusion: Strategy,
+    /// ER match threshold.
+    pub er_threshold: f64,
+    /// Fused values below this confidence are withheld (nulled); realizes
+    /// Example 2's accuracy/completeness trade-off.
+    pub min_value_confidence: f64,
+    /// Numeric agreement tolerance for fusion claims.
+    pub fusion_tolerance: f64,
+}
+
+impl Plan {
+    /// Derive a plan from the user context.
+    pub fn derive(user: &UserContext) -> Plan {
+        let w_acc = user.weight(Criterion::Accuracy);
+        let w_com = user.weight(Criterion::Completeness);
+        let w_tim = user.weight(Criterion::Timeliness);
+        let w_cost = user.weight(Criterion::Cost);
+        let uniform = 1.0 / 6.0;
+
+        // Cost- or accuracy-sensitive contexts prune sources; completeness-
+        // dominant contexts take everything relevant.
+        let selection = if w_com > 1.5 * uniform && w_com > w_acc && w_com > w_cost {
+            SelectionStrategy::AllRelevant
+        } else {
+            SelectionStrategy::MarginalGain
+        };
+
+        // Timeliness-sensitive contexts fuse freshness-aware; otherwise
+        // trust-weighted voting.
+        let fusion = if w_tim > uniform {
+            let half_life = if user.freshness_horizon == u64::MAX {
+                10.0
+            } else {
+                (user.freshness_horizon as f64 / 2.0).max(1.0)
+            };
+            Strategy::TrustAndFreshness { half_life }
+        } else {
+            Strategy::TrustWeighted
+        };
+
+        // Accuracy-first contexts resolve entities and gate values strictly;
+        // completeness-first contexts are permissive.
+        let er_threshold = (0.75 + 0.6 * (w_acc - uniform)).clamp(0.6, 0.95);
+        let min_value_confidence = user.min_confidence;
+
+        Plan {
+            selection,
+            fusion,
+            er_threshold,
+            min_value_confidence,
+            fusion_tolerance: 0.002,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_first_prunes_and_gates() {
+        let plan = Plan::derive(&UserContext::accuracy_first());
+        assert_eq!(plan.selection, SelectionStrategy::MarginalGain);
+        assert!(plan.min_value_confidence >= 0.55);
+        assert!(plan.er_threshold > 0.75);
+        assert!(matches!(plan.fusion, Strategy::TrustAndFreshness { .. }));
+    }
+
+    #[test]
+    fn completeness_first_takes_everything() {
+        let plan = Plan::derive(&UserContext::completeness_first());
+        assert_eq!(plan.selection, SelectionStrategy::AllRelevant);
+        assert!(plan.min_value_confidence <= 0.4);
+        assert!(plan.er_threshold < 0.8);
+    }
+
+    #[test]
+    fn balanced_context_gets_sane_defaults() {
+        let plan = Plan::derive(&UserContext::balanced("x"));
+        assert!(plan.er_threshold >= 0.6 && plan.er_threshold <= 0.95);
+        assert!(plan.fusion_tolerance > 0.0);
+    }
+
+    #[test]
+    fn horizon_shapes_half_life() {
+        let user = UserContext::accuracy_first().with_freshness_horizon(8);
+        match Plan::derive(&user).fusion {
+            Strategy::TrustAndFreshness { half_life } => assert!((half_life - 4.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_contexts_different_plans() {
+        assert_ne!(
+            Plan::derive(&UserContext::accuracy_first()),
+            Plan::derive(&UserContext::completeness_first())
+        );
+    }
+}

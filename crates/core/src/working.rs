@@ -1,0 +1,187 @@
+//! Working Data bookkeeping: artifact versions, dirtiness, and work
+//! counters.
+//!
+//! Example 5's closing requirement: "it is of paramount importance that
+//! these feedback-induced 'reactions' do not trigger a re-processing of all
+//! datasets involved in the computation but rather limit the processing to
+//! the strictly necessary data." The store tracks which derived artifacts
+//! are stale and counts the actual work performed, so experiments can show
+//! incremental ≪ full recomputation (E7b).
+
+use std::collections::HashSet;
+
+/// A derived artifact in the Working Data, at per-source or global grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// Extraction/ingestion output of one source.
+    Extraction(usize),
+    /// Mapping (schema alignment) of one source.
+    Mapping(usize),
+    /// Mapped (target-schema) table of one source.
+    MappedTable(usize),
+    /// The union + entity clustering.
+    Clusters,
+    /// One fused slot (entity, attribute).
+    FusedSlot(usize, usize),
+    /// The assembled wrangled table.
+    Result,
+}
+
+/// Counters of actual work performed (the currency of E7b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Source tables (re)ingested.
+    pub extractions: usize,
+    /// Mappings (re)generated.
+    pub mappings_generated: usize,
+    /// Source tables (re)mapped.
+    pub tables_mapped: usize,
+    /// Candidate pairs compared in ER.
+    pub er_pairs: usize,
+    /// Slots (re)fused.
+    pub slots_fused: usize,
+}
+
+impl WorkCounters {
+    /// Total units, a crude single scalar for plots.
+    pub fn total(&self) -> usize {
+        self.extractions
+            + self.mappings_generated
+            + self.tables_mapped
+            + self.er_pairs
+            + self.slots_fused
+    }
+}
+
+impl std::ops::Sub for WorkCounters {
+    type Output = WorkCounters;
+    fn sub(self, rhs: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            extractions: self.extractions - rhs.extractions,
+            mappings_generated: self.mappings_generated - rhs.mappings_generated,
+            tables_mapped: self.tables_mapped - rhs.tables_mapped,
+            er_pairs: self.er_pairs - rhs.er_pairs,
+            slots_fused: self.slots_fused - rhs.slots_fused,
+        }
+    }
+}
+
+/// Dirtiness tracking for derived artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingData {
+    dirty: HashSet<Artifact>,
+    /// Cumulative work counters.
+    pub work: WorkCounters,
+}
+
+impl WorkingData {
+    /// Fresh store with everything implicitly dirty (nothing computed yet).
+    pub fn new() -> Self {
+        WorkingData::default()
+    }
+
+    /// Mark an artifact stale.
+    pub fn invalidate(&mut self, a: Artifact) {
+        self.dirty.insert(a);
+    }
+
+    /// Mark a source's whole derivation chain stale (its data changed).
+    pub fn invalidate_source(&mut self, source: usize) {
+        self.invalidate(Artifact::Extraction(source));
+        self.invalidate(Artifact::Mapping(source));
+        self.invalidate(Artifact::MappedTable(source));
+        self.invalidate(Artifact::Clusters);
+        self.invalidate(Artifact::Result);
+    }
+
+    /// Is the artifact stale?
+    pub fn is_dirty(&self, a: Artifact) -> bool {
+        self.dirty.contains(&a)
+    }
+
+    /// Clear an artifact's dirtiness after recomputation.
+    pub fn mark_clean(&mut self, a: Artifact) {
+        self.dirty.remove(&a);
+    }
+
+    /// Dirty fused slots, sorted.
+    pub fn dirty_slots(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .dirty
+            .iter()
+            .filter_map(|a| match a {
+                Artifact::FusedSlot(e, t) => Some((*e, *t)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of dirty artifacts.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidation_and_cleaning() {
+        let mut wd = WorkingData::new();
+        assert!(!wd.is_dirty(Artifact::Result));
+        wd.invalidate(Artifact::Result);
+        assert!(wd.is_dirty(Artifact::Result));
+        wd.mark_clean(Artifact::Result);
+        assert!(!wd.is_dirty(Artifact::Result));
+    }
+
+    #[test]
+    fn source_invalidation_cascades() {
+        let mut wd = WorkingData::new();
+        wd.invalidate_source(3);
+        for a in [
+            Artifact::Extraction(3),
+            Artifact::Mapping(3),
+            Artifact::MappedTable(3),
+            Artifact::Clusters,
+            Artifact::Result,
+        ] {
+            assert!(wd.is_dirty(a));
+        }
+        assert!(!wd.is_dirty(Artifact::Extraction(4)));
+    }
+
+    #[test]
+    fn dirty_slots_listed_sorted() {
+        let mut wd = WorkingData::new();
+        wd.invalidate(Artifact::FusedSlot(2, 1));
+        wd.invalidate(Artifact::FusedSlot(0, 3));
+        wd.invalidate(Artifact::Result);
+        assert_eq!(wd.dirty_slots(), vec![(0, 3), (2, 1)]);
+        assert_eq!(wd.dirty_count(), 3);
+    }
+
+    #[test]
+    fn work_counter_arithmetic() {
+        let a = WorkCounters {
+            extractions: 5,
+            mappings_generated: 2,
+            tables_mapped: 5,
+            er_pairs: 100,
+            slots_fused: 50,
+        };
+        let b = WorkCounters {
+            extractions: 5,
+            mappings_generated: 2,
+            tables_mapped: 5,
+            er_pairs: 100,
+            slots_fused: 60,
+        };
+        let d = b - a;
+        assert_eq!(d.slots_fused, 10);
+        assert_eq!(d.total(), 10);
+    }
+}

@@ -1,0 +1,1289 @@
+//! The end-to-end wrangling session.
+
+use std::collections::HashMap;
+
+use wrangler_context::{Criterion, DataContext, QualityVector, UserContext};
+use wrangler_feedback::router::ValueProvenance;
+use wrangler_feedback::{
+    route, FeedbackItem, FeedbackStore, FeedbackTarget, RoutedSignal, RoutingMode,
+};
+use wrangler_fusion::strategies::{fuse_attribute, FusedValue, SourceContext};
+use wrangler_fusion::truthfinder::{truthfinder, TruthFinderConfig};
+use wrangler_fusion::ClaimSet;
+use wrangler_mapping::{generate_mapping, Mapping};
+use wrangler_match::MatchConfig;
+use wrangler_quality::profile::{quality_vector, ExternalSignals, TableProfile};
+use wrangler_resolve::learn::{refine_rule, LabeledPair};
+use wrangler_resolve::{
+    candidates_blocked, cluster_pairs, match_pairs, ErConfig, FieldSim, SimKind,
+};
+use wrangler_sources::{
+    select_greedy_utility, select_marginal_gain, SourceEstimate, SourceId, SourceMeta,
+    SourceRegistry,
+};
+use wrangler_table::{DataType, Schema, Table, Value};
+use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
+
+use crate::planner::{Plan, SelectionStrategy};
+use crate::working::{Artifact, WorkingData};
+
+/// Per-source wrangling state in the Working Data.
+#[derive(Debug, Clone)]
+struct SourceState {
+    /// Feedback-updated trust in the source.
+    trust: Belief,
+    /// The current mapping, if generated.
+    mapping: Option<Mapping>,
+    /// The mapped (target-schema) table, if computed.
+    mapped: Option<Table>,
+    /// Relevance to the data context in \[0, 1\].
+    relevance: f64,
+}
+
+/// Caches from the last full wrangle, the substrate of incremental
+/// recomputation.
+#[derive(Debug, Clone)]
+struct WrangleCache {
+    /// Union rows: (source index, values aligned to the target schema).
+    union: Vec<(usize, Vec<Value>)>,
+    /// Entity id per union row.
+    row_entity: Vec<usize>,
+    /// Number of entities.
+    entities: usize,
+    /// The claim set.
+    claims: ClaimSet,
+    /// Source trust/age context used at fusion time.
+    source_ctx: SourceContext,
+    /// Fused slots.
+    fused: HashMap<(usize, usize), FusedValue>,
+    /// Selected sources.
+    selected: Vec<SourceId>,
+}
+
+/// The result of a wrangle.
+#[derive(Debug, Clone)]
+pub struct WrangleOutcome {
+    /// One row per entity in the target schema, plus a `_confidence` column.
+    pub table: Table,
+    /// Quality vector of the result under the session's user context.
+    pub quality: QualityVector,
+    /// Multi-criteria utility of `quality` under the user context.
+    pub utility: f64,
+    /// Sources that were integrated.
+    pub selected_sources: Vec<SourceId>,
+    /// Number of entities produced.
+    pub entities: usize,
+    /// Budget spent so far (source access + feedback).
+    pub cost_spent: f64,
+}
+
+/// A wrangling session: context + sources + working data + feedback loop.
+#[derive(Debug, Clone)]
+pub struct Wrangler {
+    /// The declarative user context steering every decision.
+    pub user: UserContext,
+    /// The data context (ontology, master data, reference lists).
+    pub data_ctx: DataContext,
+    /// The feedback ledger.
+    pub feedback: FeedbackStore,
+    /// Working-data bookkeeping (dirtiness + work counters).
+    pub working: WorkingData,
+    /// How feedback is propagated (Shared is the paper's proposal; Siloed is
+    /// the E4 baseline).
+    pub routing: RoutingMode,
+    target: Schema,
+    target_sample: Table,
+    registry: SourceRegistry,
+    states: Vec<SourceState>,
+    er_cfg: ErConfig,
+    match_cfg: MatchConfig,
+    now: u64,
+    cache: Option<WrangleCache>,
+    access_spent: f64,
+    fusion_override: Option<wrangler_fusion::Strategy>,
+    /// Slot-level constraints from direct value feedback: values the user
+    /// refuted (never deliver again) and values the user confirmed (pin).
+    vetoes: HashMap<(usize, usize), Vec<Value>>,
+    confirmations: HashMap<(usize, usize), Value>,
+}
+
+impl Wrangler {
+    /// New session. `target_sample` carries the target schema *and* sample
+    /// instances (typically the master catalog), which matching exploits.
+    pub fn new(user: UserContext, data_ctx: DataContext, target_sample: Table) -> Wrangler {
+        let target = target_sample.schema().clone();
+        let plan = Plan::derive(&user);
+        let er_cfg = build_er_config(&target, plan.er_threshold);
+        Wrangler {
+            user,
+            data_ctx,
+            feedback: FeedbackStore::new(),
+            working: WorkingData::new(),
+            routing: RoutingMode::Shared,
+            target,
+            target_sample,
+            registry: SourceRegistry::new(),
+            states: Vec::new(),
+            er_cfg,
+            match_cfg: MatchConfig::default(),
+            now: 0,
+            cache: None,
+            access_spent: 0.0,
+            fusion_override: None,
+            vetoes: HashMap::new(),
+            confirmations: HashMap::new(),
+        }
+    }
+
+    /// Force a fusion strategy regardless of the plan (ablation harness).
+    pub fn with_fusion_strategy(mut self, strategy: wrangler_fusion::Strategy) -> Wrangler {
+        self.fusion_override = Some(strategy);
+        self
+    }
+
+    /// Replace the matcher configuration (e.g. the names-only baseline).
+    pub fn with_match_config(mut self, cfg: MatchConfig) -> Wrangler {
+        self.match_cfg = cfg;
+        self
+    }
+
+    /// Set the current tick (for timeliness computations).
+    pub fn set_now(&mut self, tick: u64) {
+        self.now = tick;
+    }
+
+    /// Switch the user context mid-session (§2.1: "a single application may
+    /// have different user contexts"). The plan is re-derived on the next
+    /// wrangle; cached claims and clusters survive, so switching contexts is
+    /// a re-selection + re-fusion, not a from-scratch run — unless the new
+    /// plan needs a different ER threshold, which invalidates clustering.
+    pub fn set_user_context(&mut self, user: UserContext) {
+        let old_plan = self.plan();
+        self.user = user;
+        let new_plan = self.plan();
+        if (new_plan.er_threshold - old_plan.er_threshold).abs() > 1e-12 {
+            self.er_cfg = build_er_config(&self.target, new_plan.er_threshold);
+            self.working.invalidate(Artifact::Clusters);
+        }
+        self.working.invalidate(Artifact::Result);
+    }
+
+    /// The derived plan for the current user context (with any ablation
+    /// overrides applied).
+    pub fn plan(&self) -> Plan {
+        let mut plan = Plan::derive(&self.user);
+        if let Some(s) = self.fusion_override {
+            plan.fusion = s;
+        }
+        plan
+    }
+
+    /// The target schema.
+    pub fn target(&self) -> &Schema {
+        &self.target
+    }
+
+    /// Register a source (already extracted into a table).
+    pub fn add_source(&mut self, meta: SourceMeta, table: Table) -> SourceId {
+        let id = self.registry.register_with_meta(meta, table);
+        self.states.push(SourceState {
+            trust: Belief::from_prior(0.6),
+            mapping: None,
+            mapped: None,
+            relevance: 1.0,
+        });
+        self.working.invalidate_source(id.0 as usize);
+        self.working.work.extractions += 1;
+        id
+    }
+
+    /// Number of registered sources.
+    pub fn num_sources(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Current trust in a source.
+    pub fn source_trust(&self, source: SourceId) -> f64 {
+        self.states[source.0 as usize].trust.probability()
+    }
+
+    /// Estimate every source's selection-relevant properties from profiling,
+    /// master-data coverage and feedback-updated trust. Large sources are
+    /// probed on a bounded sample rather than scanned (§4.3 scale
+    /// independence: selection must not require touching all of every
+    /// candidate source).
+    pub fn estimates(&mut self) -> Vec<SourceEstimate> {
+        let master_rows = self.target_sample.num_rows().max(1);
+        let probe_cfg = wrangler_sources::ProbeConfig::default();
+        let mut out = Vec::with_capacity(self.registry.len());
+        for (i, src) in self.registry.iter().enumerate() {
+            let relevance = if src.table.num_rows() > probe_cfg.sample_rows {
+                wrangler_sources::probe_source(&src.table, &self.data_ctx, "product", &probe_cfg)
+                    .ok()
+                    .and_then(|p| p.relevance)
+                    .unwrap_or(1.0)
+            } else {
+                wrangler_quality::profile::master_relevance(&src.table, &self.data_ctx, "product")
+                    .unwrap_or(1.0)
+            };
+            self.states[i].relevance = relevance;
+            let coverage =
+                ((src.table.num_rows() as f64 / master_rows as f64) * relevance).min(1.0);
+            out.push(SourceEstimate {
+                id: src.meta.id,
+                coverage,
+                accuracy: self.states[i].trust.probability(),
+                age: self.now.saturating_sub(src.meta.last_updated),
+                cost: src.meta.access_cost,
+                relevance,
+            });
+        }
+        out
+    }
+
+    /// Full wrangle: select → map → resolve → fuse → gate → report.
+    pub fn wrangle(&mut self) -> wrangler_table::Result<WrangleOutcome> {
+        let plan = self.plan();
+
+        // 1. Source selection under the user context.
+        let estimates = self.estimates();
+        let selected: Vec<SourceId> = match plan.selection {
+            SelectionStrategy::MarginalGain => select_marginal_gain(&estimates, &self.user).0,
+            SelectionStrategy::AllRelevant => {
+                let mut all = UserContext::balanced("all");
+                all.budget = self.user.budget;
+                all.max_sources = self.user.max_sources;
+                all.freshness_horizon = self.user.freshness_horizon;
+                select_greedy_utility(&estimates, &all)
+            }
+        };
+        self.access_spent = selected
+            .iter()
+            .map(|id| self.registry.get(*id).unwrap().meta.access_cost)
+            .sum();
+
+        // 2. Mapping generation + execution per selected source. Generation
+        // (schema matching) is the CPU-heavy step; fan it out across threads.
+        let need_mapping: Vec<usize> = selected
+            .iter()
+            .map(|id| id.0 as usize)
+            .filter(|&i| {
+                self.states[i].mapping.is_none() || self.working.is_dirty(Artifact::Mapping(i))
+            })
+            .collect();
+        if !need_mapping.is_empty() {
+            let target = &self.target;
+            let sample = &self.target_sample;
+            let ontology = &self.data_ctx.ontology;
+            let match_cfg = &self.match_cfg;
+            let registry = &self.registry;
+            let generated: Vec<(usize, Mapping)> = std::thread::scope(|scope| {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(need_mapping.len());
+                let chunk = need_mapping.len().div_ceil(workers);
+                let handles: Vec<_> = need_mapping
+                    .chunks(chunk)
+                    .map(|ids| {
+                        scope.spawn(move || {
+                            ids.iter()
+                                .map(|&i| {
+                                    let src = registry.get(SourceId(i as u32)).expect("selected");
+                                    (
+                                        i,
+                                        generate_mapping(
+                                            &src.table,
+                                            target,
+                                            sample,
+                                            Some(ontology),
+                                            match_cfg,
+                                        ),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("no panics in matching"))
+                    .collect()
+            });
+            for (i, mapping) in generated {
+                self.states[i].mapping = Some(mapping);
+                self.states[i].mapped = None;
+                self.working.work.mappings_generated += 1;
+                self.working.mark_clean(Artifact::Mapping(i));
+            }
+        }
+        for id in &selected {
+            let i = id.0 as usize;
+            if self.states[i].mapped.is_none() || self.working.is_dirty(Artifact::MappedTable(i)) {
+                let src = self.registry.get(*id).unwrap();
+                let mapped = self.states[i].mapping.as_ref().unwrap().apply(&src.table)?;
+                self.states[i].mapped = Some(mapped);
+                self.working.work.tables_mapped += 1;
+                self.working.mark_clean(Artifact::MappedTable(i));
+            }
+        }
+
+        // 3. Union with provenance.
+        let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
+        for id in &selected {
+            let i = id.0 as usize;
+            let mapped = self.states[i].mapped.as_ref().expect("mapped above");
+            for row in mapped.iter_rows() {
+                union.push((i, row));
+            }
+        }
+
+        // 4. Entity resolution over the union.
+        let union_table = {
+            let mut t = Table::empty(self.target.clone());
+            for (_, row) in &union {
+                t.push_row(row.clone())?;
+            }
+            t
+        };
+        // Block on the name-ish column AND the key column: rows whose name is
+        // null or typo-prefixed still meet their duplicates through the key.
+        let block_col = blocking_column(&self.target);
+        let key_col = self.target.fields()[0].name.clone();
+        let mut candidates = candidates_blocked(&union_table, &block_col)?;
+        if key_col != block_col {
+            candidates.extend(wrangler_resolve::candidates_blocked_exact(
+                &union_table,
+                &key_col,
+            )?);
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        self.working.work.er_pairs += candidates.len();
+        let pairs = match_pairs(&union_table, &candidates, &self.er_cfg)?;
+        let clusters = cluster_pairs(union_table.num_rows(), pairs.iter().map(|p| (p.i, p.j)));
+        let mut row_entity = vec![0usize; union_table.num_rows()];
+        for (e, cluster) in clusters.iter().enumerate() {
+            for &r in cluster {
+                row_entity[r] = e;
+            }
+        }
+        self.working.mark_clean(Artifact::Clusters);
+
+        // 5. Claims + trust.
+        let mut claims = ClaimSet::new(self.registry.len());
+        claims.rel_tol = plan.fusion_tolerance;
+        for (r, (src, row)) in union.iter().enumerate() {
+            for (a, v) in row.iter().enumerate() {
+                claims.add(row_entity[r], a, v.clone(), *src);
+            }
+        }
+        // Master-data anchors for the attributes the catalog knows.
+        let anchors = self.master_anchors(&claims, &clusters, &union);
+        let tf = truthfinder(&claims, &TruthFinderConfig::default(), &anchors);
+        // Blend data-driven trust with feedback-driven belief trust.
+        let trust: Vec<f64> = (0..self.registry.len())
+            .map(|i| 0.5 * tf.trust[i] + 0.5 * self.states[i].trust.probability())
+            .collect();
+        let age: Vec<u64> = self
+            .registry
+            .iter()
+            .map(|s| self.now.saturating_sub(s.meta.last_updated))
+            .collect();
+        let source_ctx = SourceContext { trust, age };
+
+        // 6. Fuse every slot (honouring value-level feedback constraints).
+        let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
+        for (e, a) in claims.slots() {
+            if let Some(f) = self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx) {
+                fused.insert((e, a), f);
+            }
+            self.working.work.slots_fused += 1;
+            self.working.mark_clean(Artifact::FusedSlot(e, a));
+        }
+
+        self.cache = Some(WrangleCache {
+            union,
+            row_entity,
+            entities: clusters.len(),
+            claims,
+            source_ctx,
+            fused,
+            selected: selected.clone(),
+        });
+        self.working.mark_clean(Artifact::Result);
+        self.assemble(&plan)
+    }
+
+    /// Incrementally re-wrangle after feedback: re-fuse only dirty slots with
+    /// the updated trust. Falls back to a full wrangle when structural
+    /// artifacts (mappings, clusters) are dirty or no cache exists.
+    pub fn rewrangle(&mut self) -> wrangler_table::Result<WrangleOutcome> {
+        let structural_dirty = self.cache.is_none()
+            || self.working.is_dirty(Artifact::Clusters)
+            || self.cache.as_ref().is_some_and(|c| {
+                c.selected.iter().any(|id| {
+                    let i = id.0 as usize;
+                    self.working.is_dirty(Artifact::Mapping(i))
+                        || self.working.is_dirty(Artifact::MappedTable(i))
+                })
+            });
+        if structural_dirty {
+            return self.wrangle();
+        }
+        let plan = self.plan();
+        // Refresh the trust vector from beliefs (feedback may have moved it).
+        let mut cache = self.cache.take().expect("checked above");
+        for i in 0..self.registry.len() {
+            let blended =
+                0.5 * cache.source_ctx.trust[i].min(1.0) + 0.5 * self.states[i].trust.probability();
+            cache.source_ctx.trust[i] = blended;
+        }
+        for (e, a) in self.working.dirty_slots() {
+            match self.fuse_slot(&cache.claims, e, a, plan.fusion, &cache.source_ctx) {
+                Some(f) => {
+                    cache.fused.insert((e, a), f);
+                }
+                // All claims vetoed: the slot has no deliverable value left.
+                None => {
+                    cache.fused.remove(&(e, a));
+                }
+            }
+            self.working.work.slots_fused += 1;
+            self.working.mark_clean(Artifact::FusedSlot(e, a));
+        }
+        self.cache = Some(cache);
+        self.working.mark_clean(Artifact::Result);
+        self.assemble(&plan)
+    }
+
+    /// Fuse one slot, honouring confirmed and vetoed values from direct
+    /// feedback: a confirmed value is pinned at full confidence; a vetoed
+    /// value can never win again (its supporting claims are excluded).
+    fn fuse_slot(
+        &self,
+        claims: &ClaimSet,
+        e: usize,
+        a: usize,
+        strategy: wrangler_fusion::Strategy,
+        ctx: &SourceContext,
+    ) -> Option<FusedValue> {
+        if let Some(v) = self.confirmations.get(&(e, a)) {
+            return Some(FusedValue {
+                value: v.clone(),
+                weight: 1.0,
+                total_weight: 1.0,
+                supporters: Vec::new(),
+                freshness: 1.0,
+            });
+        }
+        match self.vetoes.get(&(e, a)) {
+            None => fuse_attribute(claims, e, a, strategy, ctx),
+            Some(vetoed) => {
+                // Rebuild the slot without claims agreeing with any veto.
+                let mut filtered = ClaimSet::new(claims.num_sources);
+                filtered.rel_tol = claims.rel_tol;
+                for c in claims.slot(e, a) {
+                    let banned = vetoed
+                        .iter()
+                        .any(|v| wrangler_fusion::values_agree(v, &c.value, claims.rel_tol));
+                    if !banned {
+                        filtered.add(c.entity, c.attr, c.value.clone(), c.source);
+                    }
+                }
+                fuse_attribute(&filtered, e, a, strategy, ctx)
+            }
+        }
+    }
+
+    /// Master-data anchors: for entities whose key is in the catalog, the
+    /// catalog's values of shared attributes are known-true.
+    fn master_anchors(
+        &self,
+        _claims: &ClaimSet,
+        clusters: &[Vec<usize>],
+        union: &[(usize, Vec<Value>)],
+    ) -> Vec<(usize, usize, Value)> {
+        let Some(master) = self.data_ctx.master("product") else {
+            return Vec::new();
+        };
+        let Ok(key_idx) = self.target.index_of(&master.key_column) else {
+            return Vec::new();
+        };
+        let mut anchors = Vec::new();
+        for (e, cluster) in clusters.iter().enumerate() {
+            // The entity's key: first non-null key claim found in the master.
+            let key = cluster.iter().find_map(|&r| {
+                let v = &union[r].1[key_idx];
+                if !v.is_null() && master.contains_key(v) {
+                    Some(v.clone())
+                } else {
+                    None
+                }
+            });
+            let Some(key) = key else { continue };
+            for (a, field) in self.target.fields().iter().enumerate() {
+                if field.name == master.key_column {
+                    continue;
+                }
+                if let Some(truth) = master.lookup(&key, &field.name) {
+                    if !truth.is_null() {
+                        anchors.push((e, a, truth));
+                    }
+                }
+            }
+        }
+        anchors
+    }
+
+    /// Assemble the wrangled table and its quality report from the cache.
+    fn assemble(&mut self, plan: &Plan) -> wrangler_table::Result<WrangleOutcome> {
+        let cache = self.cache.as_ref().expect("assemble requires a cache");
+        let mut fields = self.target.fields().to_vec();
+        fields.push(wrangler_table::Field::new("_confidence", DataType::Float));
+        let out_schema = Schema::new(fields)?;
+        let mut table = Table::empty(out_schema);
+        let mut conflict_free = 0usize;
+        let mut slot_count = 0usize;
+        let mut conf_sum = 0.0;
+        for e in 0..cache.entities {
+            let mut row = Vec::with_capacity(self.target.len() + 1);
+            let mut row_conf = Vec::new();
+            for a in 0..self.target.len() {
+                match cache.fused.get(&(e, a)) {
+                    Some(f) => {
+                        let conf = f.confidence();
+                        slot_count += 1;
+                        conf_sum += conf;
+                        if (conf - 1.0).abs() < 1e-12 {
+                            conflict_free += 1;
+                        }
+                        // Confidence gating (Example 2's trade-off).
+                        if conf >= plan.min_value_confidence {
+                            row.push(f.value.clone());
+                            row_conf.push(conf);
+                        } else {
+                            row.push(Value::Null);
+                        }
+                    }
+                    None => row.push(Value::Null),
+                }
+            }
+            let mean_conf = if row_conf.is_empty() {
+                0.0
+            } else {
+                row_conf.iter().sum::<f64>() / row_conf.len() as f64
+            };
+            row.push(Value::Float(mean_conf));
+            table.push_row(row)?;
+        }
+        table.reinfer_types();
+
+        // Quality report.
+        let profile = TableProfile::of(&table)?;
+        let accuracy = if slot_count == 0 {
+            0.0
+        } else {
+            conf_sum / slot_count as f64
+        };
+        let consistency = if slot_count == 0 {
+            1.0
+        } else {
+            conflict_free as f64 / slot_count as f64
+        };
+        let mean_age = {
+            let sel = &cache.selected;
+            if sel.is_empty() {
+                0
+            } else {
+                sel.iter()
+                    .map(|id| {
+                        self.now
+                            .saturating_sub(self.registry.get(*id).unwrap().meta.last_updated)
+                    })
+                    .sum::<u64>()
+                    / sel.len() as u64
+            }
+        };
+        let relevance =
+            wrangler_quality::profile::master_relevance(&table, &self.data_ctx, "product");
+        let cost_spent = self.access_spent + self.feedback.total_cost();
+        let cost_fraction = if self.user.budget.is_infinite() || self.user.budget <= 0.0 {
+            0.0
+        } else {
+            (cost_spent / self.user.budget).min(1.0)
+        };
+        let mut quality = quality_vector(
+            &profile,
+            &self.user,
+            &ExternalSignals {
+                age: mean_age,
+                violation_rate: 1.0 - consistency,
+                accuracy: Some(accuracy),
+                relevance,
+                cost_fraction,
+            },
+        );
+        // Completeness should be judged against the catalog: entities found /
+        // entities wanted, blended with field completeness.
+        if let Some(master) = self.data_ctx.master("product") {
+            let entity_cov = (cache.entities as f64 / master.len().max(1) as f64).min(1.0);
+            let field_com = quality.get(Criterion::Completeness);
+            quality = quality.with(Criterion::Completeness, 0.5 * entity_cov + 0.5 * field_com);
+        }
+        let utility = self.user.utility(&quality);
+        Ok(WrangleOutcome {
+            table,
+            quality,
+            utility,
+            selected_sources: cache.selected.clone(),
+            entities: cache.entities,
+            cost_spent,
+        })
+    }
+
+    /// Receive one feedback item: record it, route it, apply the signals.
+    /// Returns the number of component signals applied.
+    pub fn give_feedback(&mut self, item: FeedbackItem) -> usize {
+        // Provenance for value/tuple feedback from the cache.
+        let provenance = match (&item.target, &self.cache) {
+            (FeedbackTarget::Value { entity, attr, .. }, Some(cache)) => {
+                match cache.fused.get(&(*entity, *attr)) {
+                    Some(f) => {
+                        let slot = cache.claims.slot(*entity, *attr);
+                        let dissenters: Vec<usize> = slot
+                            .iter()
+                            .map(|c| c.source)
+                            .filter(|s| !f.supporters.contains(s))
+                            .collect();
+                        ValueProvenance {
+                            supporters: f.supporters.clone(),
+                            dissenters,
+                        }
+                    }
+                    None => ValueProvenance::default(),
+                }
+            }
+            (FeedbackTarget::Tuple { entity }, Some(cache)) => {
+                let mut supporters: Vec<usize> = cache
+                    .claims
+                    .claims
+                    .iter()
+                    .filter(|c| c.entity == *entity)
+                    .map(|c| c.source)
+                    .collect();
+                supporters.sort_unstable();
+                supporters.dedup();
+                ValueProvenance {
+                    supporters,
+                    dissenters: Vec::new(),
+                }
+            }
+            _ => ValueProvenance::default(),
+        };
+        // Direct slot constraints from reliable value feedback (both routing
+        // modes: this is the minimal effect even the siloed regime applies).
+        if item.reliability >= 0.8 {
+            if let FeedbackTarget::Value {
+                entity,
+                attr,
+                value,
+            } = &item.target
+            {
+                let judged = value.clone().or_else(|| {
+                    self.cache
+                        .as_ref()
+                        .and_then(|c| c.fused.get(&(*entity, *attr)))
+                        .map(|f| f.value.clone())
+                });
+                if let Some(v) = judged {
+                    if item.verdict.is_positive() {
+                        self.confirmations.insert((*entity, *attr), v);
+                    } else {
+                        self.confirmations.remove(&(*entity, *attr));
+                        self.vetoes.entry((*entity, *attr)).or_default().push(v);
+                    }
+                }
+            }
+        }
+        let signals = route(&item, &provenance, self.routing);
+        self.feedback.add(item);
+        let n = signals.len();
+        for s in signals {
+            self.apply_signal(s);
+        }
+        n
+    }
+
+    fn apply_signal(&mut self, signal: RoutedSignal) {
+        match signal {
+            RoutedSignal::SourceTrust {
+                source,
+                positive,
+                reliability,
+            } => {
+                if let Some(state) = self.states.get_mut(source) {
+                    let kind = if reliability >= 1.0 {
+                        EvidenceKind::UserFeedback
+                    } else {
+                        EvidenceKind::CrowdFeedback
+                    };
+                    state
+                        .trust
+                        .update(&Evidence::vote(kind, positive, 0.85).discounted(reliability));
+                    // Trust moved: slots this source claims need re-fusion.
+                    if let Some(cache) = &self.cache {
+                        let slots: Vec<(usize, usize)> = cache
+                            .claims
+                            .claims
+                            .iter()
+                            .filter(|c| c.source == source)
+                            .map(|c| (c.entity, c.attr))
+                            .collect();
+                        for (e, a) in slots {
+                            self.working.invalidate(Artifact::FusedSlot(e, a));
+                        }
+                    }
+                    self.working.invalidate(Artifact::Result);
+                }
+            }
+            RoutedSignal::MappingBelief {
+                source,
+                positive,
+                reliability,
+            } => {
+                if let Some(state) = self.states.get_mut(source) {
+                    if let Some(m) = &mut state.mapping {
+                        wrangler_mapping::refine::record_feedback(m, positive, reliability);
+                        // A collapsed mapping must be regenerated next time.
+                        if m.belief.probability() < 0.15 {
+                            self.working.invalidate(Artifact::Mapping(source));
+                        }
+                    }
+                }
+            }
+            RoutedSignal::RefuseSlot { entity, attr } => {
+                self.working.invalidate(Artifact::FusedSlot(entity, attr));
+                self.working.invalidate(Artifact::Result);
+            }
+            RoutedSignal::ErLabel { .. } => {
+                // Labels accumulate in the feedback store (added by caller);
+                // `refine_er` consumes them on demand.
+            }
+            RoutedSignal::RecheckWrapper { source } => {
+                self.working.invalidate(Artifact::Mapping(source));
+                self.working.invalidate(Artifact::MappedTable(source));
+                self.working.invalidate(Artifact::Clusters);
+            }
+            RoutedSignal::TupleRelevance { .. } => {
+                // Relevance feedback currently informs source trust via
+                // routing; a per-entity relevance model is future work.
+            }
+        }
+    }
+
+    /// The current entity-resolution rule (learnable via [`Self::refine_er`]).
+    pub fn er_config(&self) -> &ErConfig {
+        &self.er_cfg
+    }
+
+    /// Explain a delivered slot: the winning value, its supporters and
+    /// dissenters (with their names and current trust), confidence, and any
+    /// feedback constraints in force. `None` before the first wrangle or for
+    /// claim-less slots.
+    pub fn explain(&self, entity: usize, attr: usize) -> Option<SlotExplanation> {
+        let cache = self.cache.as_ref()?;
+        let fused = cache.fused.get(&(entity, attr))?;
+        let slot = cache.claims.slot(entity, attr);
+        let describe = |s: usize| SourceClaim {
+            source: SourceId(s as u32),
+            name: self
+                .registry
+                .get(SourceId(s as u32))
+                .map(|x| x.meta.name.clone())
+                .unwrap_or_default(),
+            trust: cache.source_ctx.trust.get(s).copied().unwrap_or(0.5),
+            value: slot
+                .iter()
+                .find(|c| c.source == s)
+                .map(|c| c.value.clone())
+                .unwrap_or(Value::Null),
+        };
+        let supporters: Vec<SourceClaim> = fused.supporters.iter().map(|&s| describe(s)).collect();
+        let dissenters: Vec<SourceClaim> = slot
+            .iter()
+            .map(|c| c.source)
+            .filter(|s| !fused.supporters.contains(s))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(describe)
+            .collect();
+        Some(SlotExplanation {
+            value: fused.value.clone(),
+            confidence: fused.confidence(),
+            freshness: fused.freshness,
+            supporters,
+            dissenters,
+            confirmed: self.confirmations.contains_key(&(entity, attr)),
+            vetoed_values: self
+                .vetoes
+                .get(&(entity, attr))
+                .cloned()
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Number of union rows in the last wrangle (duplicate-pair feedback is
+    /// expressed in union-row indices).
+    pub fn union_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.union.len())
+    }
+
+    /// Entity id a union row was clustered into, if a wrangle has run.
+    pub fn entity_of_union_row(&self, row: usize) -> Option<usize> {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.row_entity.get(row).copied())
+    }
+
+    /// Refine the ER rule from accumulated duplicate-pair labels (Corleone
+    /// loop). Returns the achieved F1 on the labels, or `None` without a
+    /// cache or labels.
+    pub fn refine_er(&mut self) -> Option<f64> {
+        let cache = self.cache.as_ref()?;
+        let labels: Vec<LabeledPair> = self
+            .feedback
+            .duplicate_labels()
+            .into_iter()
+            .map(|(a, b, m, _)| LabeledPair {
+                i: a,
+                j: b,
+                is_match: m,
+            })
+            .collect();
+        if labels.is_empty() {
+            return None;
+        }
+        let mut union_table = Table::empty(self.target.clone());
+        for (_, row) in &cache.union {
+            union_table.push_row(row.clone()).ok()?;
+        }
+        let old_f1 = wrangler_resolve::learn::evaluate(&union_table, &labels, &self.er_cfg)
+            .ok()?
+            .f1;
+        let (cfg, f1) = refine_rule(&union_table, &labels, &self.er_cfg, 3).ok()?;
+        // Adopt only a strict improvement on the labels...
+        if f1.f1 <= old_f1 + 1e-9 {
+            return Some(old_f1);
+        }
+        // ...that also passes a system-level sanity check: a handful of noisy
+        // labels must not collapse or shatter the entity space. Re-cluster
+        // with the candidate rule and require the entity count to stay within
+        // a factor of the current one.
+        let block_col = blocking_column(&self.target);
+        let key_col = self.target.fields()[0].name.clone();
+        let mut candidates = candidates_blocked(&union_table, &block_col).ok()?;
+        if key_col != block_col {
+            candidates
+                .extend(wrangler_resolve::candidates_blocked_exact(&union_table, &key_col).ok()?);
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        let pairs = match_pairs(&union_table, &candidates, &cfg).ok()?;
+        let new_entities =
+            cluster_pairs(union_table.num_rows(), pairs.iter().map(|p| (p.i, p.j))).len();
+        let old_entities = cache.entities.max(1);
+        let ratio = new_entities as f64 / old_entities as f64;
+        if !(0.6..=1.67).contains(&ratio) {
+            return Some(old_f1);
+        }
+        self.er_cfg = cfg;
+        self.working.invalidate(Artifact::Clusters);
+        Some(f1.f1)
+    }
+}
+
+/// One source's stance on an explained slot.
+#[derive(Debug, Clone)]
+pub struct SourceClaim {
+    /// Source id.
+    pub source: SourceId,
+    /// Source name.
+    pub name: String,
+    /// Current (blended) trust in the source.
+    pub trust: f64,
+    /// The value it claimed for the slot.
+    pub value: Value,
+}
+
+/// Why a delivered value is what it is (see [`Wrangler::explain`]).
+#[derive(Debug, Clone)]
+pub struct SlotExplanation {
+    /// The winning value.
+    pub value: Value,
+    /// Delivered confidence.
+    pub confidence: f64,
+    /// Freshness factor of the winning evidence.
+    pub freshness: f64,
+    /// Sources supporting the winner.
+    pub supporters: Vec<SourceClaim>,
+    /// Sources claiming something else.
+    pub dissenters: Vec<SourceClaim>,
+    /// True if the user confirmed this value.
+    pub confirmed: bool,
+    /// Values the user refuted for this slot.
+    pub vetoed_values: Vec<Value>,
+}
+
+/// ER configuration derived from the target schema: exact match on key-ish
+/// columns, text similarity on strings (names weighted up), numerics
+/// excluded (prices legitimately differ across sources).
+fn build_er_config(target: &Schema, threshold: f64) -> ErConfig {
+    let mut fields = Vec::new();
+    for (i, f) in target.fields().iter().enumerate() {
+        let lname = f.name.to_lowercase();
+        let key_like = i == 0
+            || lname == "sku"
+            || lname == "id"
+            || lname.ends_with("_id")
+            || lname == "url"
+            || lname == "code";
+        if key_like {
+            fields.push(FieldSim {
+                column: f.name.clone(),
+                weight: 2.0,
+                kind: SimKind::Exact,
+            });
+        } else if f.dtype == DataType::Str || f.dtype == DataType::Null {
+            let weight = if lname.contains("name") || lname.contains("title") {
+                3.0
+            } else {
+                1.0
+            };
+            fields.push(FieldSim {
+                column: f.name.clone(),
+                weight,
+                kind: SimKind::Text,
+            });
+        }
+        // Numeric columns intentionally excluded.
+    }
+    ErConfig { fields, threshold }
+}
+
+/// The column ER blocks on: a name-ish string column, else the first column.
+fn blocking_column(target: &Schema) -> String {
+    for f in target.fields() {
+        let l = f.name.to_lowercase();
+        if l.contains("name") || l.contains("title") {
+            return f.name.clone();
+        }
+    }
+    target.fields()[0].name.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_context::Ontology;
+    use wrangler_feedback::Verdict;
+    use wrangler_sources::{FleetConfig, SyntheticFleet};
+
+    fn small_fleet() -> SyntheticFleet {
+        wrangler_sources::synthetic::generate_fleet(
+            &FleetConfig {
+                num_products: 40,
+                num_sources: 6,
+                now: 10,
+                coverage: (0.5, 0.9),
+                error_rate: (0.02, 0.15),
+                null_rate: (0.0, 0.05),
+                staleness: (0, 4),
+                ..FleetConfig::default()
+            },
+            42,
+        )
+    }
+
+    fn session(fleet: &SyntheticFleet, user: UserContext) -> Wrangler {
+        let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+        ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+            .unwrap();
+        // Target: catalog schema + price (what the company wants to learn).
+        let mut sample = fleet.truth.master_catalog();
+        sample = wrangler_table::ops::project_exprs(
+            &sample,
+            &[
+                ("sku".into(), wrangler_table::Expr::col("sku")),
+                ("name".into(), wrangler_table::Expr::col("name")),
+                ("brand".into(), wrangler_table::Expr::col("brand")),
+                ("category".into(), wrangler_table::Expr::col("category")),
+                ("price".into(), wrangler_table::Expr::lit(Value::Null)),
+            ],
+        )
+        .unwrap();
+        // Give price a numeric type hint from a handful of plausible values.
+        let mut w = Wrangler::new(user, ctx, retype_price(sample));
+        w.set_now(fleet.truth.now);
+        for s in fleet.registry.iter() {
+            w.add_source(s.meta.clone(), s.table.clone());
+        }
+        w
+    }
+
+    /// The all-null price column types as Null; hint it as Float so mapping
+    /// normalization and ER config treat it numerically.
+    fn retype_price(sample: Table) -> Table {
+        let mut fields = sample.schema().fields().to_vec();
+        for f in &mut fields {
+            if f.name == "price" {
+                f.dtype = DataType::Float;
+            }
+        }
+        let schema = Schema::new(fields).unwrap();
+        let cols = (0..sample.num_columns())
+            .map(|i| sample.column(i).unwrap().to_vec())
+            .collect();
+        Table::from_columns(schema, cols).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_wrangle_produces_entities_with_prices() {
+        let fleet = small_fleet();
+        let mut w = session(
+            &fleet,
+            UserContext::balanced("t").with_required_columns(&["sku", "price"]),
+        );
+        let out = w.wrangle().unwrap();
+        assert!(out.entities >= 30, "entities {}", out.entities);
+        assert!(
+            out.entities <= 60,
+            "over-merged or under-merged: {}",
+            out.entities
+        );
+        assert!(!out.selected_sources.is_empty());
+        // Most entities should carry a price.
+        let priced = (0..out.table.num_rows())
+            .filter(|&i| !out.table.get_named(i, "price").unwrap().is_null())
+            .count();
+        assert!(
+            priced as f64 >= 0.6 * out.entities as f64,
+            "{priced}/{}",
+            out.entities
+        );
+        assert!(out.utility > 0.0);
+    }
+
+    #[test]
+    fn accuracy_context_trades_completeness_for_accuracy() {
+        let fleet = small_fleet();
+        let mut acc = session(&fleet, UserContext::accuracy_first());
+        let mut com = session(&fleet, UserContext::completeness_first());
+        let out_acc = acc.wrangle().unwrap();
+        let out_com = com.wrangle().unwrap();
+        let nulls = |t: &Table| {
+            let mut n = 0;
+            for r in 0..t.num_rows() {
+                for c in 0..t.num_columns() - 1 {
+                    n += usize::from(t.get(r, c).unwrap().is_null());
+                }
+            }
+            n as f64 / (t.num_rows() * (t.num_columns() - 1)) as f64
+        };
+        // The accuracy-first context withholds more uncertain values.
+        assert!(
+            nulls(&out_acc.table) >= nulls(&out_com.table),
+            "acc nulls {} vs com nulls {}",
+            nulls(&out_acc.table),
+            nulls(&out_com.table)
+        );
+    }
+
+    #[test]
+    fn feedback_moves_source_trust_and_is_cheap_to_apply() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        let full_work = w.working.work;
+        let trust_before: Vec<f64> = out
+            .selected_sources
+            .iter()
+            .map(|id| w.source_trust(*id))
+            .collect();
+        // Tuple feedback: moves the supporting sources' trust, no structural
+        // invalidation.
+        let signals = w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Tuple { entity: 0 },
+            Verdict::Negative,
+            1.0,
+        ));
+        assert!(signals >= 2, "shared routing reaches supporters");
+        let moved = out
+            .selected_sources
+            .iter()
+            .zip(&trust_before)
+            .any(|(id, before)| w.source_trust(*id) < *before);
+        assert!(moved, "some supporter's trust must drop");
+        // Incremental rewrangle after the trust ripple: no remapping, no
+        // re-ER (structural artifacts untouched).
+        let before_work = w.working.work;
+        let _ = w.rewrangle().unwrap();
+        let delta = w.working.work - before_work;
+        assert_eq!(delta.mappings_generated, 0);
+        assert_eq!(delta.er_pairs, 0);
+        assert!(delta.slots_fused <= full_work.slots_fused);
+
+        // Siloed value feedback refuses exactly one slot: the strictly
+        // bounded reprocessing Example 5 demands.
+        let mut siloed = session(&fleet, UserContext::balanced("t"));
+        siloed.routing = RoutingMode::Siloed;
+        siloed.wrangle().unwrap();
+        siloed.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Value {
+                entity: 0,
+                attr: 4,
+                value: None,
+            },
+            Verdict::Negative,
+            1.0,
+        ));
+        let before_work = siloed.working.work;
+        let _ = siloed.rewrangle().unwrap();
+        let delta = siloed.working.work - before_work;
+        assert_eq!(delta.mappings_generated, 0);
+        assert_eq!(delta.er_pairs, 0);
+        assert_eq!(delta.slots_fused, 1, "exactly the judged slot is refused");
+    }
+
+    #[test]
+    fn negative_source_feedback_triggers_structural_rework_when_shared() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        let sid = out.selected_sources[0];
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Extraction {
+                source: sid.0 as usize,
+            },
+            Verdict::Negative,
+            1.0,
+        ));
+        assert!(w.working.is_dirty(Artifact::Mapping(sid.0 as usize)));
+        // Rewrangle falls back to the full path.
+        let before = w.working.work;
+        let _ = w.rewrangle().unwrap();
+        let delta = w.working.work - before;
+        assert!(delta.mappings_generated >= 1);
+    }
+
+    #[test]
+    fn siloed_routing_produces_fewer_signals() {
+        let fleet = small_fleet();
+        let mut shared = session(&fleet, UserContext::balanced("t"));
+        let mut siloed = session(&fleet, UserContext::balanced("t"));
+        siloed.routing = RoutingMode::Siloed;
+        shared.wrangle().unwrap();
+        siloed.wrangle().unwrap();
+        let item = |_: &Wrangler| {
+            FeedbackItem::expert(
+                FeedbackTarget::Value {
+                    entity: 1,
+                    attr: 4,
+                    value: None,
+                },
+                Verdict::Negative,
+                1.0,
+            )
+        };
+        let n_shared = shared.give_feedback(item(&shared));
+        let n_siloed = siloed.give_feedback(item(&siloed));
+        assert!(n_shared >= n_siloed);
+    }
+
+    #[test]
+    fn value_feedback_vetoes_and_confirms() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        let price_attr = w.target().index_of("price").unwrap();
+        // Find an entity with a delivered price.
+        let entity = (0..out.table.num_rows())
+            .find(|&r| !out.table.get_named(r, "price").unwrap().is_null())
+            .expect("some delivered price");
+        let old_value = out.table.get_named(entity, "price").unwrap().clone();
+        // Refute it: the same value must never be delivered again.
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Value {
+                entity,
+                attr: price_attr,
+                value: Some(old_value.clone()),
+            },
+            Verdict::Negative,
+            1.0,
+        ));
+        let out2 = w.rewrangle().unwrap();
+        let new_value = out2.table.get_named(entity, "price").unwrap().clone();
+        assert_ne!(new_value, old_value, "vetoed value re-delivered");
+        // If every claim agreed with the vetoed value, the slot is now empty
+        // (Null) and unexplainable; otherwise the explanation records the veto.
+        if let Some(exp) = w.explain(entity, price_attr) {
+            assert!(exp.vetoed_values.contains(&old_value));
+        } else {
+            assert!(new_value.is_null());
+        }
+        // Confirm the new value: pinned at full confidence.
+        if !new_value.is_null() {
+            w.give_feedback(FeedbackItem::expert(
+                FeedbackTarget::Value {
+                    entity,
+                    attr: price_attr,
+                    value: Some(new_value.clone()),
+                },
+                Verdict::Positive,
+                1.0,
+            ));
+            let out3 = w.rewrangle().unwrap();
+            assert_eq!(out3.table.get_named(entity, "price").unwrap(), &new_value);
+            let exp = w.explain(entity, price_attr).unwrap();
+            assert!(exp.confirmed);
+            assert_eq!(exp.confidence, 1.0);
+        }
+    }
+
+    #[test]
+    fn explain_names_supporters_and_dissenters() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.wrangle().unwrap();
+        let price_attr = w.target().index_of("price").unwrap();
+        let exp = (0..30)
+            .find_map(|e| w.explain(e, price_attr))
+            .expect("explainable slot");
+        assert!(!exp.supporters.is_empty());
+        for s in exp.supporters.iter().chain(&exp.dissenters) {
+            assert!(
+                s.name.starts_with("shop"),
+                "source name propagated: {}",
+                s.name
+            );
+            assert!((0.0..=1.0).contains(&s.trust));
+        }
+        assert!(w.explain(9999, price_attr).is_none());
+    }
+
+    #[test]
+    fn er_refinement_consumes_duplicate_labels() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.wrangle().unwrap();
+        assert_eq!(w.refine_er(), None, "no labels yet");
+        // Label two union rows as duplicates (indices are union rows).
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::DuplicatePair { row_a: 0, row_b: 1 },
+            Verdict::Negative,
+            0.5,
+        ));
+        let f1 = w.refine_er();
+        assert!(f1.is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! Wrappers for non-web source formats (the Variety axis of §1).
+//!
+//! * [`parse_kv_blocks`] — "key: value" record blocks separated by blank
+//!   lines (the shape of product feeds, vCard-ish dumps, log exports);
+//! * [`parse_jsonl`] — one flat JSON object per line (strings, numbers,
+//!   booleans, null — no nesting), the ubiquitous API export shape.
+//!
+//! Both return typed [`Table`]s with the union of observed keys as columns,
+//! so downstream matching sees the same substrate as web extraction.
+
+use wrangler_table::infer::parse_cell;
+use wrangler_table::{Schema, Table, TableError, Value};
+
+/// Parse "key: value" blocks separated by blank lines.
+pub fn parse_kv_blocks(text: &str) -> wrangler_table::Result<Table> {
+    let mut records: Vec<Vec<(String, String)>> = Vec::new();
+    let mut current: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            if !current.is_empty() {
+                records.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            current.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        // Lines without a colon are ignored (comments, separators).
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    table_from_records(records)
+}
+
+/// Parse one flat JSON object per non-empty line.
+pub fn parse_jsonl(text: &str) -> wrangler_table::Result<Table> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|msg| TableError::Csv {
+            line: lineno + 1,
+            message: format!("jsonl: {msg}"),
+        })?;
+        records.push(obj);
+    }
+    table_from_records(records)
+}
+
+fn table_from_records(records: Vec<Vec<(String, String)>>) -> wrangler_table::Result<Table> {
+    // Column order: first-seen order across records (record order preserved).
+    let mut columns: Vec<String> = Vec::new();
+    for r in &records {
+        for (k, _) in r {
+            if !columns.contains(k) {
+                columns.push(k.clone());
+            }
+        }
+    }
+    let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::empty(Schema::of_strs(&refs));
+    for r in records {
+        let row: Vec<Value> = columns
+            .iter()
+            .map(|c| {
+                r.iter()
+                    .find(|(k, _)| k == c)
+                    .map(|(_, s)| parse_cell(s))
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        table.push_row(row)?;
+    }
+    table.reinfer_types();
+    Ok(table)
+}
+
+/// Minimal parser for a flat JSON object. Supports string (with \" \\ \n \t
+/// escapes), number, `true`/`false`/`null`. Rejects nesting.
+fn parse_flat_object(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = s.chars().peekable();
+    let mut out = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected string".into());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('/') => out.push('/'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err("expected ':'".into());
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => parse_string(&mut chars)?,
+            Some('{') | Some('[') => return Err("nested values unsupported".into()),
+            _ => {
+                let mut tok = String::new();
+                while matches!(chars.peek(), Some(c) if !c.is_whitespace() && *c != ',' && *c != '}')
+                {
+                    tok.push(chars.next().expect("peeked"));
+                }
+                if tok == "null" {
+                    String::new()
+                } else if tok == "true" || tok == "false" || tok.parse::<f64>().is_ok() {
+                    tok
+                } else {
+                    return Err(format!("bad literal `{tok}`"));
+                }
+            }
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::DataType;
+
+    #[test]
+    fn kv_blocks_parse_and_type() {
+        let t =
+            parse_kv_blocks("name: Widget\nprice: 9.99\n\nname: Gadget\nprice: 19.5\nstock: 4\n")
+                .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().names(), vec!["name", "price", "stock"]);
+        assert_eq!(t.get_named(0, "price").unwrap(), &Value::Float(9.99));
+        assert!(t.get_named(0, "stock").unwrap().is_null());
+        assert_eq!(t.get_named(1, "stock").unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn kv_ignores_junk_lines() {
+        let t = parse_kv_blocks("--- record ---\nname: X\n\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.num_columns(), 1);
+    }
+
+    #[test]
+    fn kv_value_containing_colon() {
+        let t = parse_kv_blocks("url: https://x.example/a\n").unwrap();
+        assert_eq!(
+            t.get_named(0, "url").unwrap().as_str(),
+            Some("https://x.example/a")
+        );
+    }
+
+    #[test]
+    fn jsonl_basic_types() {
+        let t = parse_jsonl(
+            "{\"sku\": \"a1\", \"price\": 9.5, \"live\": true, \"note\": null}\n{\"sku\": \"a2\", \"price\": 3}\n",
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.get_named(0, "price").unwrap(), &Value::Float(9.5));
+        assert_eq!(t.get_named(0, "live").unwrap(), &Value::Bool(true));
+        assert!(t.get_named(0, "note").unwrap().is_null());
+        assert!(t.get_named(1, "live").unwrap().is_null());
+        assert_eq!(t.schema().field(1).unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn jsonl_escapes() {
+        let t = parse_jsonl(r#"{"desc": "a \"big\" one\nreally"}"#).unwrap();
+        assert_eq!(
+            t.get_named(0, "desc").unwrap().as_str(),
+            Some("a \"big\" one\nreally")
+        );
+    }
+
+    #[test]
+    fn jsonl_errors_carry_line_numbers() {
+        let err = parse_jsonl("{\"a\": 1}\n{\"a\": [1,2]}\n").unwrap_err();
+        match err {
+            TableError::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("nested"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_jsonl("{\"a\" 1}").is_err());
+        assert!(parse_jsonl("{\"a\": zorp}").is_err());
+        assert!(parse_jsonl("{\"a\": 1} extra").is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(parse_kv_blocks("").unwrap().num_rows(), 0);
+        assert_eq!(parse_jsonl("\n\n").unwrap().num_rows(), 0);
+        let t = parse_jsonl("{}").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.num_columns(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `wrangler-extract` — the Data Extraction component of Figure 1.
+//!
+//! §4.1: "Data Extraction must make effective use of all the available data.
+//! Consider web data extraction, in which wrappers are generated that enable
+//! deep web resources to be treated as structured data sets. ... existing
+//! knowledge bases and intermediate products of data cleaning and integration
+//! processes can be used to improve the quality of wrapper induction."
+//!
+//! We cannot ship a browser; per DESIGN.md the web is substituted by a
+//! miniature semi-structured document model that preserves what wrapper
+//! induction actually operates on — tree-structured, template-generated
+//! pages:
+//!
+//! * [`doc`] — an arena-based mini-DOM with tags, classes and text;
+//! * [`template`] — deterministic page generation from tables, plus seeded
+//!   **template drift** (the Velocity of site redesigns that breaks
+//!   production wrappers);
+//! * [`wrapper`] — selector-based extraction rules turning pages back into
+//!   [`wrangler_table::Table`]s;
+//! * [`induce`] — wrapper induction from a handful of annotated example
+//!   records (Crescenzi et al. \[12\]);
+//! * [`repair`] — drift detection and **joint wrapper/data repair** (WADaR,
+//!   Ortona et al. \[29\]): re-induce the wrapper using already-integrated
+//!   data as automatic annotations — no human re-annotation;
+//! * [`formats`] — wrappers for non-web source shapes (key-value blocks and
+//!   a flat JSON-lines dialect), covering the Variety axis.
+
+pub mod doc;
+pub mod formats;
+pub mod induce;
+pub mod repair;
+pub mod template;
+pub mod wrapper;
+
+pub use doc::{Doc, NodeId};
+pub use induce::{induce_wrapper, Annotation};
+pub use template::Template;
+pub use wrapper::{FieldRule, Selector, Wrapper};

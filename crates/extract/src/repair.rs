@@ -1,0 +1,296 @@
+//! Drift detection and joint wrapper/data repair (WADaR, Ortona et al. \[29\]).
+//!
+//! When a site redesign breaks a wrapper, the classical fix is human
+//! re-annotation. Example 3 argues the extraction process "can in this case
+//! be 'informed' by existing integrated data ... to identify previously
+//! unknown locations and correct erroneous ones". We implement that loop:
+//!
+//! 1. [`drift_detected`] — a wrapper whose record count or fill rate
+//!    collapses has drifted;
+//! 2. [`repair_wrapper`] — re-locate records on the new page using *stable*
+//!    values from already-integrated reference data as automatic annotations,
+//!    re-induce the stable field rules, and recover volatile numeric fields
+//!    (prices change between visits, so their values cannot be matched) by a
+//!    type-and-label heuristic within the relocated records.
+
+use std::collections::HashMap;
+
+use wrangler_table::infer::parse_cell;
+use wrangler_table::{DataType, Table};
+
+use crate::doc::{Doc, NodeId};
+use crate::induce::{induce_wrapper, Annotation};
+use crate::wrapper::{Extraction, FieldRule, Selector, Wrapper};
+
+/// Has the wrapper drifted? True when it finds no records, or its fill rate
+/// dropped below `min_fill`.
+pub fn drift_detected(extraction: &Extraction, min_fill: f64) -> bool {
+    extraction.records_found == 0 || extraction.fill_rate < min_fill
+}
+
+/// Configuration for informed repair.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Columns of the reference data whose values are stable across visits
+    /// (names, ids, brands — not prices).
+    pub stable_columns: Vec<String>,
+    /// Maximum reference rows to try as automatic annotations.
+    pub max_annotations: usize,
+    /// Minimum automatic annotations that must locate a record for the
+    /// repair to be trusted.
+    pub min_located: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            stable_columns: vec!["name".into(), "sku".into(), "brand".into()],
+            max_annotations: 8,
+            min_located: 2,
+        }
+    }
+}
+
+/// Outcome of a repair attempt.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired wrapper.
+    pub wrapper: Wrapper,
+    /// How many automatic annotations located records.
+    pub annotations_used: usize,
+    /// Field names recovered by value matching (stable columns).
+    pub stable_fields: Vec<String>,
+    /// Field names recovered by the numeric type/label heuristic.
+    pub heuristic_fields: Vec<String>,
+}
+
+/// Attempt to repair `old` against the redesigned `doc`, using
+/// already-integrated `reference` data (rows of *this source's* entities).
+///
+/// Returns `None` when too few reference rows can be located on the page —
+/// e.g. the page now shows a disjoint product set — in which case the caller
+/// must fall back to human annotation.
+pub fn repair_wrapper(
+    old: &Wrapper,
+    doc: &Doc,
+    reference: &Table,
+    cfg: &RepairConfig,
+) -> Option<RepairOutcome> {
+    // 1. Build automatic annotations from stable reference values.
+    let stable: Vec<&str> = cfg
+        .stable_columns
+        .iter()
+        .map(String::as_str)
+        .filter(|c| reference.schema().contains(c))
+        .collect();
+    if stable.is_empty() {
+        return None;
+    }
+    let mut annotations = Vec::new();
+    for row in 0..reference.num_rows() {
+        if annotations.len() >= cfg.max_annotations {
+            break;
+        }
+        let mut pairs = Vec::new();
+        for &c in &stable {
+            let v = reference.get_named(row, c).ok()?;
+            if !v.is_null() {
+                pairs.push((c.to_string(), v.render()));
+            }
+        }
+        if pairs.len() >= stable.len().min(2) {
+            annotations.push(Annotation { values: pairs });
+        }
+    }
+    // 2. Keep only annotations that induction can locate; induce stable rules.
+    let mut located = Vec::new();
+    for ann in annotations {
+        if induce_wrapper(doc, std::slice::from_ref(&ann)).is_ok() {
+            located.push(ann);
+        }
+        if located.len() >= cfg.max_annotations {
+            break;
+        }
+    }
+    if located.len() < cfg.min_located {
+        return None;
+    }
+    let mut wrapper = induce_wrapper(doc, &located).ok()?;
+    let stable_fields: Vec<String> = wrapper.fields.iter().map(|f| f.name.clone()).collect();
+
+    // 3. Recover volatile fields of the old wrapper (typically numeric) by
+    // type/label heuristics inside the relocated records.
+    let records = wrapper.record_selector.select_all(doc);
+    let mut heuristic_fields = Vec::new();
+    for f in &old.fields {
+        if wrapper.fields.iter().any(|g| g.name == f.name) {
+            continue;
+        }
+        if let Some(rule) = recover_numeric_field(doc, &records, &f.name) {
+            heuristic_fields.push(f.name.clone());
+            wrapper.fields.push(rule);
+        }
+    }
+    Some(RepairOutcome {
+        annotations_used: located.len(),
+        wrapper,
+        stable_fields,
+        heuristic_fields,
+    })
+}
+
+/// Find a (tag, class, prefix) signature inside the record subtrees whose
+/// value suffix parses as a number, preferring signatures whose label
+/// mentions the field name.
+fn recover_numeric_field(doc: &Doc, records: &[NodeId], field: &str) -> Option<FieldRule> {
+    /// Split "PRICE  19.5" into ("PRICE  ", numeric suffix).
+    fn split_numeric(text: &str) -> Option<(String, String)> {
+        let start = text.find(|c: char| c.is_ascii_digit() || c == '-')?;
+        let (prefix, value) = text.split_at(start);
+        let parsed = parse_cell(value);
+        if matches!(parsed.dtype(), DataType::Int | DataType::Float) {
+            Some((prefix.to_string(), value.to_string()))
+        } else {
+            None
+        }
+    }
+
+    // signature → (hits, label-mentions-field hits, first prefix)
+    let mut sigs: HashMap<(String, Option<String>), (usize, usize, String)> = HashMap::new();
+    for &rec in records {
+        for n in doc.descendants(rec) {
+            let node = doc.node(n);
+            if node.text.is_none() {
+                continue;
+            }
+            let text = doc.text_of(n);
+            if let Some((prefix, _)) = split_numeric(&text) {
+                let entry = sigs
+                    .entry((node.tag.clone(), node.class.clone()))
+                    .or_insert((0, 0, prefix.clone()));
+                entry.0 += 1;
+                let label = prefix.to_lowercase();
+                let fl = field.to_lowercase();
+                if label.contains(&fl)
+                    || fl.contains(label.trim_matches([' ', ':'])) && !label.trim().is_empty()
+                {
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    // Prefer labeled signatures, then coverage.
+    let ((tag, class), (hits, _, prefix)) = sigs
+        .into_iter()
+        .max_by_key(|(_, (hits, labeled, _))| (*labeled, *hits))
+        .filter(|(_, (hits, _, _))| *hits >= records.len().div_ceil(2))?;
+    let _ = hits;
+    Some(FieldRule {
+        name: field.to_string(),
+        selector: Selector {
+            tag: Some(tag),
+            class,
+        },
+        strip_prefix: if prefix.is_empty() {
+            None
+        } else {
+            Some(prefix)
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use wrangler_table::Value;
+
+    fn catalog(n: usize, price_bump: f64) -> Table {
+        let rows = (0..n)
+            .map(|i| {
+                vec![
+                    Value::from(format!("Product {i}")),
+                    Value::Float(10.0 + i as f64 + price_bump),
+                    Value::from(if i % 2 == 0 { "Acme" } else { "Bolt" }),
+                ]
+            })
+            .collect();
+        Table::literal(&["name", "price", "brand"], rows).unwrap()
+    }
+
+    #[test]
+    fn drift_detection_thresholds() {
+        let t = Template::listing(&["name", "price"]);
+        let page = t.render(&catalog(5, 0.0));
+        let good = t.oracle_wrapper().extract(&page).unwrap();
+        assert!(!drift_detected(&good, 0.5));
+        let drifted_page = t.drift(3).render(&catalog(5, 0.0));
+        let broken = t.oracle_wrapper().extract(&drifted_page).unwrap();
+        assert!(drift_detected(&broken, 0.5));
+    }
+
+    #[test]
+    fn informed_repair_restores_extraction_without_human_annotations() {
+        let t = Template::listing(&["name", "price", "brand"]);
+        let old_wrapper = t.oracle_wrapper();
+        // The site redesigns AND prices move; integrated data has old prices.
+        let redesigned = t.drift(11);
+        let new_page = redesigned.render(&catalog(10, 3.7));
+        let reference = catalog(10, 0.0); // what we integrated last time
+
+        let broken = old_wrapper.extract(&new_page).unwrap();
+        assert!(drift_detected(&broken, 0.5));
+
+        let cfg = RepairConfig {
+            stable_columns: vec!["name".into(), "brand".into()],
+            ..RepairConfig::default()
+        };
+        let outcome = repair_wrapper(&old_wrapper, &new_page, &reference, &cfg).unwrap();
+        assert!(outcome.annotations_used >= 2);
+        assert!(outcome.stable_fields.contains(&"name".to_string()));
+        assert!(outcome.heuristic_fields.contains(&"price".to_string()));
+
+        let fixed = outcome.wrapper.extract(&new_page).unwrap();
+        assert_eq!(fixed.records_found, 10);
+        // Extracted prices are the NEW site prices, not the stale reference.
+        let oracle = redesigned.oracle_wrapper().extract(&new_page).unwrap();
+        for i in 0..10 {
+            assert_eq!(
+                fixed.table.get_named(i, "price").unwrap(),
+                oracle.table.get_named(i, "price").unwrap()
+            );
+            assert_eq!(
+                fixed.table.get_named(i, "name").unwrap(),
+                oracle.table.get_named(i, "name").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn repair_fails_gracefully_on_disjoint_content() {
+        let t = Template::listing(&["name", "price"]);
+        let old_wrapper = t.oracle_wrapper();
+        let new_page = t.drift(2).render(&catalog(5, 0.0));
+        // Reference about completely different products.
+        let rows = (0..5)
+            .map(|i| vec![Value::from(format!("Zorb {i}")), Value::Float(1.0)])
+            .collect();
+        let alien = Table::literal(&["name", "price"], rows).unwrap();
+        let cfg = RepairConfig {
+            stable_columns: vec!["name".into()],
+            ..RepairConfig::default()
+        };
+        assert!(repair_wrapper(&old_wrapper, &new_page, &alien, &cfg).is_none());
+    }
+
+    #[test]
+    fn repair_without_stable_columns_is_none() {
+        let t = Template::listing(&["name", "price"]);
+        let page = t.render(&catalog(3, 0.0));
+        let cfg = RepairConfig {
+            stable_columns: vec!["ghost".into()],
+            ..RepairConfig::default()
+        };
+        assert!(repair_wrapper(&t.oracle_wrapper(), &page, &catalog(3, 0.0), &cfg).is_none());
+    }
+}

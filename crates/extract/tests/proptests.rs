@@ -1,0 +1,86 @@
+//! Property tests for extraction: induction consistency (an induced wrapper
+//! reproduces its training examples and generalizes to the whole page) and
+//! format-wrapper round-trips.
+
+use proptest::prelude::*;
+use wrangler_extract::formats::parse_kv_blocks;
+use wrangler_extract::induce::{induce_wrapper, Annotation};
+use wrangler_extract::Template;
+use wrangler_table::{Table, Value};
+
+fn arb_catalog() -> impl Strategy<Value = Table> {
+    // Distinct names: "<word> <index>" so annotations are unambiguous.
+    prop::collection::vec(("[a-z]{3,8}", 1.0f64..5000.0), 2..25).prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, p))| {
+                vec![
+                    Value::from(format!("{w} {i}")),
+                    Value::Float((p * 100.0).round() / 100.0),
+                ]
+            })
+            .collect();
+        Table::literal(&["name", "price"], rows).expect("aligned")
+    })
+}
+
+fn annotation(t: &Table, i: usize) -> Annotation {
+    Annotation::of(&[
+        ("name", &t.get_named(i, "name").unwrap().render()),
+        ("price", &t.get_named(i, "price").unwrap().render()),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn induced_wrapper_reproduces_all_records(t in arb_catalog(), drift_seed in 0u64..50) {
+        let template = Template::listing(&["name", "price"]).drift(drift_seed);
+        let page = template.render(&t);
+        let k = 2.min(t.num_rows());
+        let anns: Vec<Annotation> = (0..k).map(|j| annotation(&t, j * (t.num_rows() - 1).max(1) / k.max(1))).collect();
+        let w = induce_wrapper(&page, &anns).expect("induction succeeds on template pages");
+        let got = w.extract(&page).expect("extract");
+        prop_assert_eq!(got.records_found, t.num_rows());
+        // Training examples are reproduced exactly.
+        for ann in &anns {
+            for (field, value) in &ann.values {
+                let col = got.table.column_named(field).unwrap();
+                prop_assert!(
+                    col.iter().any(|v| v.render() == *value),
+                    "training value {value} missing from extraction"
+                );
+            }
+        }
+        // Every extracted name matches the catalog (order preserved).
+        for i in 0..t.num_rows() {
+            prop_assert_eq!(
+                got.table.get_named(i, "name").unwrap().render(),
+                t.get_named(i, "name").unwrap().render()
+            );
+        }
+    }
+
+    #[test]
+    fn kv_roundtrip(rows in prop::collection::vec(("[a-z]{2,6}", "[a-zA-Z0-9 ]{0,10}"), 1..12)) {
+        // Build a KV document: one block per row with key `k`, plus a name.
+        let mut doc = String::new();
+        for (i, (k, v)) in rows.iter().enumerate() {
+            doc.push_str(&format!("_rec_: r{i}\n{k}: {v}\n\n"));
+        }
+        let t = parse_kv_blocks(&doc).unwrap();
+        prop_assert_eq!(t.num_rows(), rows.len());
+        prop_assert!(t.schema().contains("_rec_"));
+        for (i, (k, v)) in rows.iter().enumerate() {
+            let got = t.get_named(i, k).unwrap();
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                // Empty values parse as Null.
+                continue;
+            }
+            prop_assert_eq!(got.render(), wrangler_table::infer::parse_cell(trimmed).render());
+        }
+    }
+}

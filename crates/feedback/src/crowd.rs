@@ -1,0 +1,271 @@
+//! Simulated crowdsourcing with uncertain workers (\[13\], \[20\]).
+//!
+//! Workers have latent accuracies; tasks are binary questions with a hidden
+//! ground truth. Aggregation is either simple majority or EM-style joint
+//! estimation of truth and worker accuracy (a binary Dawid–Skene): the
+//! latter both answers better and yields the per-task reliability the
+//! uniform uncertainty model needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated crowd of workers with latent accuracies.
+#[derive(Debug, Clone)]
+pub struct Crowd {
+    accuracies: Vec<f64>,
+    /// Fee per answered micro-task per worker.
+    pub fee: f64,
+    rng: StdRng,
+}
+
+/// One worker's vote on one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vote {
+    /// Worker index.
+    pub worker: usize,
+    /// Task index.
+    pub task: usize,
+    /// The answer given.
+    pub answer: bool,
+}
+
+/// Aggregated crowd answers.
+#[derive(Debug, Clone)]
+pub struct CrowdAnswers {
+    /// Estimated answer per task.
+    pub answers: Vec<bool>,
+    /// Estimated confidence per task in [0.5, 1].
+    pub confidence: Vec<f64>,
+    /// Estimated worker accuracies (EM only; majority fills 0.5).
+    pub worker_accuracy: Vec<f64>,
+    /// Total fees paid.
+    pub cost: f64,
+}
+
+impl Crowd {
+    /// A crowd whose worker accuracies are drawn uniformly from `acc_range`.
+    pub fn new(num_workers: usize, acc_range: (f64, f64), fee: f64, seed: u64) -> Crowd {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let accuracies = (0..num_workers)
+            .map(|_| rng.gen_range(acc_range.0..=acc_range.1))
+            .collect();
+        Crowd {
+            accuracies,
+            fee,
+            rng,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.accuracies.len()
+    }
+
+    /// True if the crowd has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.accuracies.is_empty()
+    }
+
+    /// True latent accuracy of a worker (test oracle; the system never sees it).
+    pub fn true_accuracy(&self, worker: usize) -> f64 {
+        self.accuracies[worker]
+    }
+
+    /// Ask `k` distinct random workers each of the `truths` tasks; votes are
+    /// correct with each worker's latent probability.
+    pub fn ask(&mut self, truths: &[bool], k: usize) -> Vec<Vote> {
+        let k = k.min(self.accuracies.len());
+        let mut votes = Vec::with_capacity(truths.len() * k);
+        for (task, &truth) in truths.iter().enumerate() {
+            // Sample k distinct workers.
+            let mut pool: Vec<usize> = (0..self.accuracies.len()).collect();
+            for slot in 0..k {
+                let pick = slot + self.rng.gen_range(0..pool.len() - slot);
+                pool.swap(slot, pick);
+                let worker = pool[slot];
+                let correct = self.rng.gen::<f64>() < self.accuracies[worker];
+                votes.push(Vote {
+                    worker,
+                    task,
+                    answer: if correct { truth } else { !truth },
+                });
+            }
+        }
+        votes
+    }
+}
+
+/// Majority aggregation.
+pub fn aggregate_majority(
+    votes: &[Vote],
+    num_tasks: usize,
+    num_workers: usize,
+    fee: f64,
+) -> CrowdAnswers {
+    let mut yes = vec![0usize; num_tasks];
+    let mut total = vec![0usize; num_tasks];
+    for v in votes {
+        total[v.task] += 1;
+        yes[v.task] += usize::from(v.answer);
+    }
+    let mut answers = Vec::with_capacity(num_tasks);
+    let mut confidence = Vec::with_capacity(num_tasks);
+    for t in 0..num_tasks {
+        let n = total[t].max(1);
+        let frac = yes[t] as f64 / n as f64;
+        answers.push(frac >= 0.5);
+        confidence.push(frac.max(1.0 - frac));
+    }
+    CrowdAnswers {
+        answers,
+        confidence,
+        worker_accuracy: vec![0.5; num_workers],
+        cost: votes.len() as f64 * fee,
+    }
+}
+
+/// EM aggregation (binary Dawid–Skene): alternate estimating task truths
+/// (weighted by worker accuracy log-odds) and worker accuracies (agreement
+/// with current truth estimates).
+pub fn aggregate_em(
+    votes: &[Vote],
+    num_tasks: usize,
+    num_workers: usize,
+    fee: f64,
+    iterations: usize,
+) -> CrowdAnswers {
+    let mut acc = vec![0.7f64; num_workers];
+    let mut p_yes = vec![0.5f64; num_tasks];
+    for _ in 0..iterations {
+        // E-step: P(task = yes) from votes under current accuracies.
+        let mut log_odds = vec![0.0f64; num_tasks];
+        for v in votes {
+            let a = acc[v.worker].clamp(0.05, 0.95);
+            let llr = (a / (1.0 - a)).ln();
+            log_odds[v.task] += if v.answer { llr } else { -llr };
+        }
+        for t in 0..num_tasks {
+            p_yes[t] = 1.0 / (1.0 + (-log_odds[t]).exp());
+        }
+        // M-step: worker accuracy = expected agreement with the truth.
+        let mut agree = vec![0.0f64; num_workers];
+        let mut count = vec![0.0f64; num_workers];
+        for v in votes {
+            let p = p_yes[v.task];
+            agree[v.worker] += if v.answer { p } else { 1.0 - p };
+            count[v.worker] += 1.0;
+        }
+        for w in 0..num_workers {
+            if count[w] > 0.0 {
+                // Light smoothing keeps accuracies off the boundary.
+                acc[w] = (agree[w] + 1.0) / (count[w] + 2.0);
+            }
+        }
+    }
+    let answers: Vec<bool> = p_yes.iter().map(|&p| p >= 0.5).collect();
+    let confidence: Vec<f64> = p_yes.iter().map(|&p| p.max(1.0 - p)).collect();
+    CrowdAnswers {
+        answers,
+        confidence,
+        worker_accuracy: acc,
+        cost: votes.len() as f64 * fee,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truths(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 3 != 0).collect()
+    }
+
+    fn accuracy(answers: &[bool], truths: &[bool]) -> f64 {
+        answers.iter().zip(truths).filter(|(a, t)| a == t).count() as f64 / truths.len() as f64
+    }
+
+    #[test]
+    fn majority_beats_single_worker_on_average() {
+        let ts = truths(200);
+        let mut crowd = Crowd::new(30, (0.6, 0.9), 0.05, 42);
+        let votes1 = crowd.ask(&ts, 1);
+        let votes5 = crowd.ask(&ts, 5);
+        let a1 = accuracy(
+            &aggregate_majority(&votes1, ts.len(), 30, 0.05).answers,
+            &ts,
+        );
+        let a5 = accuracy(
+            &aggregate_majority(&votes5, ts.len(), 30, 0.05).answers,
+            &ts,
+        );
+        assert!(a5 > a1, "{a5} vs {a1}");
+        assert!(a5 > 0.85);
+    }
+
+    #[test]
+    fn em_beats_majority_with_mixed_quality_workers() {
+        let ts = truths(300);
+        // Half the crowd is near-random; EM should discount them.
+        let mut crowd = Crowd::new(20, (0.5, 0.95), 0.05, 7);
+        let votes = crowd.ask(&ts, 7);
+        let maj = accuracy(&aggregate_majority(&votes, ts.len(), 20, 0.05).answers, &ts);
+        let em = accuracy(&aggregate_em(&votes, ts.len(), 20, 0.05, 15).answers, &ts);
+        assert!(em >= maj, "em {em} vs majority {maj}");
+    }
+
+    #[test]
+    fn em_recovers_worker_quality_ordering() {
+        let ts = truths(400);
+        let mut crowd = Crowd::new(10, (0.55, 0.95), 0.05, 3);
+        let votes = crowd.ask(&ts, 5);
+        let est = aggregate_em(&votes, ts.len(), 10, 0.05, 20).worker_accuracy;
+        // Correlation check: the best true worker should beat the worst.
+        let best = (0..10)
+            .max_by(|&a, &b| {
+                crowd
+                    .true_accuracy(a)
+                    .partial_cmp(&crowd.true_accuracy(b))
+                    .unwrap()
+            })
+            .unwrap();
+        let worst = (0..10)
+            .min_by(|&a, &b| {
+                crowd
+                    .true_accuracy(a)
+                    .partial_cmp(&crowd.true_accuracy(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(est[best] > est[worst], "est {est:?}");
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let ts = truths(10);
+        let mut crowd = Crowd::new(5, (0.8, 0.8), 0.2, 1);
+        let votes = crowd.ask(&ts, 3);
+        assert_eq!(votes.len(), 30);
+        let agg = aggregate_majority(&votes, 10, 5, 0.2);
+        assert!((agg.cost - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_crowd_is_clamped_and_workers_distinct() {
+        let ts = vec![true];
+        let mut crowd = Crowd::new(3, (0.9, 0.9), 0.1, 5);
+        let votes = crowd.ask(&ts, 10);
+        assert_eq!(votes.len(), 3);
+        let mut workers: Vec<usize> = votes.iter().map(|v| v.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 3);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let ts = truths(20);
+        let v1 = Crowd::new(5, (0.6, 0.9), 0.1, 9).ask(&ts, 3);
+        let v2 = Crowd::new(5, (0.6, 0.9), 0.1, 9).ask(&ts, 3);
+        assert_eq!(v1, v2);
+    }
+}

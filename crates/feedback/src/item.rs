@@ -1,0 +1,103 @@
+//! The uniform feedback model.
+
+use wrangler_table::Value;
+
+/// What a feedback item is about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedbackTarget {
+    /// A fused value of entity `entity`, attribute `attr` (optionally naming
+    /// the value judged, so stale feedback can be detected after re-fusion).
+    Value {
+        entity: usize,
+        attr: usize,
+        value: Option<Value>,
+    },
+    /// A whole wrangled tuple (its relevance/correctness).
+    Tuple { entity: usize },
+    /// Whether two records denote the same entity.
+    DuplicatePair { row_a: usize, row_b: usize },
+    /// A mapping of one source.
+    Mapping { source: usize },
+    /// A source as a whole ("this site is junk").
+    Source { source: usize },
+    /// An extraction result of one source ("the wrapper grabbed the wrong
+    /// field").
+    Extraction { source: usize },
+}
+
+/// The judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The target is correct / relevant / a duplicate.
+    Positive,
+    /// The target is wrong / irrelevant / not a duplicate.
+    Negative,
+}
+
+impl Verdict {
+    /// As a boolean.
+    pub fn is_positive(self) -> bool {
+        matches!(self, Verdict::Positive)
+    }
+}
+
+/// One piece of feedback, from a user or an aggregated crowd.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackItem {
+    /// What it is about.
+    pub target: FeedbackTarget,
+    /// The judgement.
+    pub verdict: Verdict,
+    /// Estimated reliability of the judge in \[0, 1\] (1.0 = the domain
+    /// expert; crowd aggregates carry their estimated accuracy).
+    pub reliability: f64,
+    /// Cost paid for this item, in budget units (staff effort or crowd fee).
+    pub cost: f64,
+}
+
+impl FeedbackItem {
+    /// Expert feedback: fully reliable, at the given effort cost.
+    pub fn expert(target: FeedbackTarget, verdict: Verdict, cost: f64) -> FeedbackItem {
+        FeedbackItem {
+            target,
+            verdict,
+            reliability: 1.0,
+            cost,
+        }
+    }
+
+    /// Crowd-aggregated feedback with estimated reliability.
+    pub fn crowd(
+        target: FeedbackTarget,
+        verdict: Verdict,
+        reliability: f64,
+        cost: f64,
+    ) -> FeedbackItem {
+        FeedbackItem {
+            target,
+            verdict,
+            reliability: reliability.clamp(0.0, 1.0),
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = FeedbackItem::expert(FeedbackTarget::Tuple { entity: 3 }, Verdict::Negative, 2.0);
+        assert_eq!(f.reliability, 1.0);
+        assert!(!f.verdict.is_positive());
+        let c = FeedbackItem::crowd(
+            FeedbackTarget::DuplicatePair { row_a: 1, row_b: 2 },
+            Verdict::Positive,
+            1.3,
+            0.05,
+        );
+        assert_eq!(c.reliability, 1.0); // clamped
+        assert!(c.verdict.is_positive());
+    }
+}

@@ -1,0 +1,28 @@
+//! `wrangler-feedback` — pay-as-you-go feedback as a first-class citizen.
+//!
+//! §2.4: "rather than depending upon a continuous labor-intensive wrangling
+//! effort ... we propose an incremental, pay-as-you-go approach, in which
+//! the 'payment' can take different forms", and — critically — "feedback of
+//! one type should be able to inform many different steps in the wrangling
+//! process". §3.2 observes the state of the art uses "a single type of
+//! feedback ... to influence specific data management tasks".
+//!
+//! * [`item`] — the uniform feedback model: typed targets (value, tuple,
+//!   duplicate pair, mapping, source), verdicts, reliability and cost;
+//! * [`store`] — the append-only feedback ledger inside the Working Data;
+//! * [`router`] — the paper's key move: route one feedback item into
+//!   *derived signals* for every component that can learn from it (source
+//!   trust, mapping belief, fusion, ER rules) — with a `siloed` mode
+//!   implementing the single-component state of the art as the E4 baseline;
+//! * [`crowd`] — simulated crowdsourcing (\[13\], \[20\]): workers with latent
+//!   accuracy, majority aggregation, and EM-style joint estimation of answer
+//!   truth and worker reliability.
+
+pub mod crowd;
+pub mod item;
+pub mod router;
+pub mod store;
+
+pub use item::{FeedbackItem, FeedbackTarget, Verdict};
+pub use router::{route, RoutedSignal, RoutingMode};
+pub use store::FeedbackStore;

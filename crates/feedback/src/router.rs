@@ -1,0 +1,291 @@
+//! Feedback routing: one item, many informed components.
+//!
+//! "The identification of several correct (or incorrect) results may inform
+//! both source selection and mapping generation" (§2.4). The router turns a
+//! feedback item plus minimal provenance (which sources supported the judged
+//! artifact) into derived [`RoutedSignal`]s for every component with
+//! something to learn. [`RoutingMode::Siloed`] reproduces the
+//! state-of-the-art baseline (§3.2: feedback is "used to support a single
+//! data management task") for experiment E4b.
+
+use crate::item::{FeedbackItem, FeedbackTarget};
+
+/// A component-directed learning signal derived from feedback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutedSignal {
+    /// Adjust trust in a source (positive = raise).
+    SourceTrust {
+        source: usize,
+        positive: bool,
+        reliability: f64,
+    },
+    /// Adjust belief in a source's mapping.
+    MappingBelief {
+        source: usize,
+        positive: bool,
+        reliability: f64,
+    },
+    /// Re-fuse a slot (its winning value was judged).
+    RefuseSlot { entity: usize, attr: usize },
+    /// Add a labeled pair to the ER training set.
+    ErLabel {
+        row_a: usize,
+        row_b: usize,
+        is_match: bool,
+        reliability: f64,
+    },
+    /// Re-check a source's wrapper (extraction judged wrong).
+    RecheckWrapper { source: usize },
+    /// Adjust the relevance estimate of an entity's tuple.
+    TupleRelevance {
+        entity: usize,
+        positive: bool,
+        reliability: f64,
+    },
+}
+
+/// How widely feedback is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Paper's proposal: feedback informs every subscribable component.
+    Shared,
+    /// Baseline: feedback only touches the component it was given on.
+    Siloed,
+}
+
+/// Provenance needed to route value-level feedback: which sources supported
+/// the judged value, and which contradicted it.
+#[derive(Debug, Clone, Default)]
+pub struct ValueProvenance {
+    /// Sources that claimed the judged value.
+    pub supporters: Vec<usize>,
+    /// Sources that claimed something else for the same slot.
+    pub dissenters: Vec<usize>,
+}
+
+/// Route one feedback item into component signals.
+pub fn route(
+    item: &FeedbackItem,
+    provenance: &ValueProvenance,
+    mode: RoutingMode,
+) -> Vec<RoutedSignal> {
+    let mut out = Vec::new();
+    let r = item.reliability;
+    let pos = item.verdict.is_positive();
+    match &item.target {
+        FeedbackTarget::Value { entity, attr, .. } => {
+            // Direct effect: the slot must be re-fused with this evidence.
+            out.push(RoutedSignal::RefuseSlot {
+                entity: *entity,
+                attr: *attr,
+            });
+            if mode == RoutingMode::Shared {
+                // Verdict on the value is (discounted) verdict on its
+                // supporters and the *opposite* on dissenters.
+                // One value is weak evidence about a whole source: a source
+                // with a 20% error rate is still 80% useful. Discount hard so
+                // trust moves with the *accumulation* of judgements.
+                for &s in &provenance.supporters {
+                    out.push(RoutedSignal::SourceTrust {
+                        source: s,
+                        positive: pos,
+                        reliability: r * 0.3,
+                    });
+                    out.push(RoutedSignal::MappingBelief {
+                        source: s,
+                        positive: pos,
+                        reliability: r * 0.2,
+                    });
+                }
+                for &s in &provenance.dissenters {
+                    out.push(RoutedSignal::SourceTrust {
+                        source: s,
+                        positive: !pos,
+                        reliability: r * 0.15,
+                    });
+                }
+            }
+        }
+        FeedbackTarget::Tuple { entity } => {
+            out.push(RoutedSignal::TupleRelevance {
+                entity: *entity,
+                positive: pos,
+                reliability: r,
+            });
+            if mode == RoutingMode::Shared {
+                for &s in &provenance.supporters {
+                    out.push(RoutedSignal::SourceTrust {
+                        source: s,
+                        positive: pos,
+                        reliability: r * 0.3,
+                    });
+                }
+            }
+        }
+        FeedbackTarget::DuplicatePair { row_a, row_b } => {
+            out.push(RoutedSignal::ErLabel {
+                row_a: *row_a,
+                row_b: *row_b,
+                is_match: pos,
+                reliability: r,
+            });
+        }
+        FeedbackTarget::Mapping { source } => {
+            out.push(RoutedSignal::MappingBelief {
+                source: *source,
+                positive: pos,
+                reliability: r,
+            });
+            if mode == RoutingMode::Shared {
+                out.push(RoutedSignal::SourceTrust {
+                    source: *source,
+                    positive: pos,
+                    reliability: r * 0.5,
+                });
+            }
+        }
+        FeedbackTarget::Source { source } => {
+            out.push(RoutedSignal::SourceTrust {
+                source: *source,
+                positive: pos,
+                reliability: r,
+            });
+            if mode == RoutingMode::Shared && !pos {
+                out.push(RoutedSignal::RecheckWrapper { source: *source });
+            }
+        }
+        FeedbackTarget::Extraction { source } => {
+            out.push(RoutedSignal::RecheckWrapper { source: *source });
+            if mode == RoutingMode::Shared {
+                out.push(RoutedSignal::SourceTrust {
+                    source: *source,
+                    positive: pos,
+                    reliability: r * 0.5,
+                });
+                out.push(RoutedSignal::MappingBelief {
+                    source: *source,
+                    positive: pos,
+                    reliability: r * 0.5,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Verdict;
+
+    fn value_item(positive: bool) -> FeedbackItem {
+        FeedbackItem::expert(
+            FeedbackTarget::Value {
+                entity: 4,
+                attr: 1,
+                value: None,
+            },
+            if positive {
+                Verdict::Positive
+            } else {
+                Verdict::Negative
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn shared_value_feedback_reaches_sources_and_mappings() {
+        let prov = ValueProvenance {
+            supporters: vec![0, 2],
+            dissenters: vec![5],
+        };
+        let signals = route(&value_item(false), &prov, RoutingMode::Shared);
+        // Refuse + 2 supporters × 2 signals + 1 dissenter.
+        assert_eq!(signals.len(), 1 + 4 + 1);
+        assert!(signals.contains(&RoutedSignal::RefuseSlot { entity: 4, attr: 1 }));
+        assert!(signals.contains(&RoutedSignal::SourceTrust {
+            source: 0,
+            positive: false,
+            reliability: 0.3
+        }));
+        // Dissenter gets the opposite verdict, further discounted.
+        assert!(signals.contains(&RoutedSignal::SourceTrust {
+            source: 5,
+            positive: true,
+            reliability: 0.15
+        }));
+    }
+
+    #[test]
+    fn siloed_value_feedback_only_refuses() {
+        let prov = ValueProvenance {
+            supporters: vec![0, 2],
+            dissenters: vec![5],
+        };
+        let signals = route(&value_item(false), &prov, RoutingMode::Siloed);
+        assert_eq!(
+            signals,
+            vec![RoutedSignal::RefuseSlot { entity: 4, attr: 1 }]
+        );
+    }
+
+    #[test]
+    fn duplicate_feedback_becomes_er_label_in_both_modes() {
+        let item = FeedbackItem::crowd(
+            FeedbackTarget::DuplicatePair { row_a: 3, row_b: 8 },
+            Verdict::Positive,
+            0.7,
+            0.1,
+        );
+        for mode in [RoutingMode::Shared, RoutingMode::Siloed] {
+            let signals = route(&item, &ValueProvenance::default(), mode);
+            assert_eq!(
+                signals,
+                vec![RoutedSignal::ErLabel {
+                    row_a: 3,
+                    row_b: 8,
+                    is_match: true,
+                    reliability: 0.7
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn negative_source_feedback_triggers_wrapper_recheck_when_shared() {
+        let item =
+            FeedbackItem::expert(FeedbackTarget::Source { source: 7 }, Verdict::Negative, 1.0);
+        let shared = route(&item, &ValueProvenance::default(), RoutingMode::Shared);
+        assert!(shared.contains(&RoutedSignal::RecheckWrapper { source: 7 }));
+        let siloed = route(&item, &ValueProvenance::default(), RoutingMode::Siloed);
+        assert!(!siloed.contains(&RoutedSignal::RecheckWrapper { source: 7 }));
+    }
+
+    #[test]
+    fn shared_mode_always_yields_at_least_as_many_signals() {
+        let items = vec![
+            value_item(true),
+            FeedbackItem::expert(FeedbackTarget::Tuple { entity: 0 }, Verdict::Positive, 1.0),
+            FeedbackItem::expert(
+                FeedbackTarget::Mapping { source: 1 },
+                Verdict::Negative,
+                1.0,
+            ),
+            FeedbackItem::expert(
+                FeedbackTarget::Extraction { source: 2 },
+                Verdict::Negative,
+                1.0,
+            ),
+        ];
+        let prov = ValueProvenance {
+            supporters: vec![1],
+            dissenters: vec![],
+        };
+        for item in items {
+            let shared = route(&item, &prov, RoutingMode::Shared).len();
+            let siloed = route(&item, &prov, RoutingMode::Siloed).len();
+            assert!(shared >= siloed, "{item:?}");
+        }
+    }
+}

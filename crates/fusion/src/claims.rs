@@ -1,0 +1,172 @@
+//! The claim model.
+
+use wrangler_table::Value;
+
+/// One source's assertion about one attribute of one entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Entity identifier (cluster index from entity resolution).
+    pub entity: usize,
+    /// Attribute index within the target schema.
+    pub attr: usize,
+    /// The asserted value (never null — silence is not a claim).
+    pub value: Value,
+    /// Source index.
+    pub source: usize,
+}
+
+/// Do two claimed values denote the same fact? Strings compare
+/// case-insensitively trimmed; numerics within `rel_tol` relative tolerance;
+/// otherwise exact.
+pub fn values_agree(a: &Value, b: &Value, rel_tol: f64) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs()).max(1e-9);
+            (x - y).abs() <= rel_tol * scale
+        }
+        _ => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => x.trim().eq_ignore_ascii_case(y.trim()),
+            _ => a == b,
+        },
+    }
+}
+
+/// A set of claims over a shared entity/attribute space, indexed by slot so
+/// per-slot access stays O(claims in slot) however large the set grows.
+#[derive(Debug, Clone, Default)]
+pub struct ClaimSet {
+    /// All claims.
+    pub claims: Vec<Claim>,
+    /// Number of sources (source indices are `0..num_sources`).
+    pub num_sources: usize,
+    /// Relative tolerance for numeric agreement.
+    pub rel_tol: f64,
+    /// (entity, attr) → indices into `claims`.
+    index: std::collections::HashMap<(usize, usize), Vec<usize>>,
+}
+
+impl ClaimSet {
+    /// New claim set.
+    pub fn new(num_sources: usize) -> ClaimSet {
+        ClaimSet {
+            claims: Vec::new(),
+            num_sources,
+            rel_tol: 1e-9,
+            index: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Add a claim (ignored if the value is null).
+    pub fn add(&mut self, entity: usize, attr: usize, value: Value, source: usize) {
+        assert!(source < self.num_sources, "source index out of range");
+        if !value.is_null() {
+            self.index
+                .entry((entity, attr))
+                .or_default()
+                .push(self.claims.len());
+            self.claims.push(Claim {
+                entity,
+                attr,
+                value,
+                source,
+            });
+        }
+    }
+
+    /// Claims about one (entity, attribute) slot.
+    pub fn slot(&self, entity: usize, attr: usize) -> Vec<&Claim> {
+        self.index
+            .get(&(entity, attr))
+            .map(|idxs| idxs.iter().map(|&i| &self.claims[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All (entity, attribute) slots with at least one claim, sorted.
+    pub fn slots(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self.index.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Group a slot's claims into agreement classes: each class is a set of
+    /// claims whose values mutually agree, represented by the first value.
+    pub fn agreement_classes<'a>(&self, slot_claims: &[&'a Claim]) -> Vec<(Value, Vec<&'a Claim>)> {
+        let mut classes: Vec<(Value, Vec<&Claim>)> = Vec::new();
+        for c in slot_claims {
+            match classes
+                .iter_mut()
+                .find(|(v, _)| values_agree(v, &c.value, self.rel_tol))
+            {
+                Some((_, members)) => members.push(c),
+                None => classes.push((c.value.clone(), vec![c])),
+            }
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_semantics() {
+        assert!(values_agree(&Value::Float(9.99), &Value::Float(9.99), 1e-9));
+        assert!(values_agree(
+            &Value::Float(100.0),
+            &Value::Float(100.4),
+            0.01
+        ));
+        assert!(!values_agree(
+            &Value::Float(100.0),
+            &Value::Float(102.0),
+            0.01
+        ));
+        assert!(values_agree(&Value::Int(10), &Value::Float(10.0), 1e-9));
+        assert!(values_agree(&" Acme ".into(), &"acme".into(), 0.0));
+        assert!(!values_agree(&"acme".into(), &"bolt".into(), 0.0));
+        assert!(values_agree(&Value::Bool(true), &Value::Bool(true), 0.0));
+        assert!(!values_agree(&Value::Bool(true), &"true".into(), 0.0));
+    }
+
+    #[test]
+    fn null_claims_dropped() {
+        let mut cs = ClaimSet::new(2);
+        cs.add(0, 0, Value::Null, 0);
+        cs.add(0, 0, Value::Int(5), 1);
+        assert_eq!(cs.claims.len(), 1);
+    }
+
+    #[test]
+    fn slots_and_slot_lookup() {
+        let mut cs = ClaimSet::new(3);
+        cs.add(0, 0, 1.into(), 0);
+        cs.add(0, 0, 2.into(), 1);
+        cs.add(1, 2, 3.into(), 2);
+        assert_eq!(cs.slots(), vec![(0, 0), (1, 2)]);
+        assert_eq!(cs.slot(0, 0).len(), 2);
+        assert_eq!(cs.slot(9, 9).len(), 0);
+    }
+
+    #[test]
+    fn agreement_classes_group_tolerantly() {
+        let mut cs = ClaimSet::new(4);
+        cs.rel_tol = 0.01;
+        cs.add(0, 0, Value::Float(100.0), 0);
+        cs.add(0, 0, Value::Float(100.5), 1);
+        cs.add(0, 0, Value::Float(200.0), 2);
+        cs.add(0, 0, Value::Float(100.2), 3);
+        let slot = cs.slot(0, 0);
+        let classes = cs.agreement_classes(&slot);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].1.len(), 3);
+        assert_eq!(classes[1].1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_panics() {
+        let mut cs = ClaimSet::new(1);
+        cs.add(0, 0, 1.into(), 5);
+    }
+}

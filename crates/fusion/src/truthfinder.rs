@@ -1,0 +1,241 @@
+//! Iterative truth discovery (after Yin, Han & Yu, TruthFinder \[36\]).
+//!
+//! Source trust and value confidence are mutually recursive: a value is
+//! credible if trusted sources claim it; a source is trustworthy if its
+//! claims are credible. Fixed-point iteration from a uniform prior separates
+//! good sources from bad ones *without any labels*, purely from the
+//! agreement structure — and master data (§2.3) can seed it with a handful
+//! of known-true facts to break symmetry faster.
+
+use std::collections::HashMap;
+
+use wrangler_table::Value;
+
+use crate::claims::{values_agree, ClaimSet};
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct TruthFinderConfig {
+    /// Maximum fixed-point iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on max trust change.
+    pub epsilon: f64,
+    /// Dampening factor γ in the trust update (guards overconfidence).
+    pub dampening: f64,
+    /// Initial source trust.
+    pub initial_trust: f64,
+}
+
+impl Default for TruthFinderConfig {
+    fn default() -> Self {
+        TruthFinderConfig {
+            max_iterations: 20,
+            epsilon: 1e-6,
+            dampening: 0.3,
+            initial_trust: 0.8,
+        }
+    }
+}
+
+/// Result: per-source trust and the winning value + confidence per slot.
+#[derive(Debug, Clone)]
+pub struct TruthFinderResult {
+    /// Trust per source index.
+    pub trust: Vec<f64>,
+    /// (entity, attr) → (winning value, confidence).
+    pub decisions: HashMap<(usize, usize), (Value, f64)>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl TruthFinderResult {
+    /// The decided value for a slot, if any claims existed.
+    pub fn value(&self, entity: usize, attr: usize) -> Option<&Value> {
+        self.decisions.get(&(entity, attr)).map(|(v, _)| v)
+    }
+
+    /// Confidence of the decided value.
+    pub fn confidence(&self, entity: usize, attr: usize) -> Option<f64> {
+        self.decisions.get(&(entity, attr)).map(|(_, c)| *c)
+    }
+}
+
+/// Known-true facts used to anchor trust (master data): (entity, attr, value).
+pub type Anchors = Vec<(usize, usize, Value)>;
+
+/// Run truth discovery over a claim set.
+pub fn truthfinder(
+    claims: &ClaimSet,
+    cfg: &TruthFinderConfig,
+    anchors: &Anchors,
+) -> TruthFinderResult {
+    let n = claims.num_sources;
+    let mut trust = vec![cfg.initial_trust.clamp(0.05, 0.95); n];
+    let slots = claims.slots();
+    // Index claims by slot once: the fixed-point loop must not rescan the
+    // whole claim set per slot per iteration.
+    let mut by_slot: HashMap<(usize, usize), Vec<&crate::claims::Claim>> = HashMap::new();
+    for c in &claims.claims {
+        by_slot.entry((c.entity, c.attr)).or_default().push(c);
+    }
+    let mut decisions: HashMap<(usize, usize), (Value, f64)> = HashMap::new();
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iterations {
+        iterations += 1;
+        // 1. Value confidence per agreement class from current trust:
+        //    conf = 1 − Π(1 − γ·t_s) over supporters, normalized per slot.
+        decisions.clear();
+        let mut per_source_conf: Vec<(f64, usize)> = vec![(0.0, 0); n]; // (sum conf, count)
+        for &(e, a) in &slots {
+            let slot = &by_slot[&(e, a)];
+            let classes = claims.agreement_classes(slot);
+            let mut scored: Vec<(Value, f64, Vec<usize>)> = classes
+                .into_iter()
+                .map(|(v, members)| {
+                    let mut miss = 1.0;
+                    for c in &members {
+                        miss *= 1.0 - cfg.dampening * trust[c.source];
+                    }
+                    let mut conf = 1.0 - miss;
+                    // Master-data anchor: a known-true value gets full
+                    // confidence; a contradicted one is floored.
+                    if let Some((_, _, truth)) =
+                        anchors.iter().find(|(ae, aa, _)| *ae == e && *aa == a)
+                    {
+                        conf = if values_agree(&v, truth, claims.rel_tol) {
+                            1.0
+                        } else {
+                            0.01
+                        };
+                    }
+                    (v, conf, members.iter().map(|c| c.source).collect())
+                })
+                .collect();
+            let total: f64 = scored.iter().map(|(_, c, _)| *c).sum();
+            if total > 0.0 {
+                for (_, c, _) in &mut scored {
+                    *c /= total;
+                }
+            }
+            // Record per-source credit and the slot decision.
+            let mut best: Option<(Value, f64)> = None;
+            for (v, c, supporters) in &scored {
+                for &s in supporters {
+                    per_source_conf[s].0 += c;
+                    per_source_conf[s].1 += 1;
+                }
+                if best.as_ref().is_none_or(|(_, bc)| c > bc) {
+                    best = Some((v.clone(), *c));
+                }
+            }
+            if let Some(b) = best {
+                decisions.insert((e, a), b);
+            }
+        }
+        // 2. Trust update: mean confidence of the source's claims, dampened
+        //    towards the previous value for stability.
+        let mut max_delta = 0.0f64;
+        for s in 0..n {
+            let (sum, count) = per_source_conf[s];
+            if count == 0 {
+                continue;
+            }
+            let target = (sum / count as f64).clamp(0.02, 0.98);
+            let next = 0.5 * trust[s] + 0.5 * target;
+            max_delta = max_delta.max((next - trust[s]).abs());
+            trust[s] = next;
+        }
+        if max_delta < cfg.epsilon {
+            break;
+        }
+    }
+    TruthFinderResult {
+        trust,
+        decisions,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 honest sources agree on most facts; 1 liar contradicts everywhere.
+    fn scenario() -> ClaimSet {
+        let mut cs = ClaimSet::new(5);
+        for e in 0..10 {
+            for s in 0..4 {
+                cs.add(e, 0, Value::Int(e as i64 * 10), s);
+            }
+            cs.add(e, 0, Value::Int(999), 4); // the liar
+        }
+        cs
+    }
+
+    #[test]
+    fn honest_sources_earn_more_trust_than_liars() {
+        let r = truthfinder(&scenario(), &TruthFinderConfig::default(), &Vec::new());
+        for s in 0..4 {
+            assert!(r.trust[s] > r.trust[4] + 0.2, "trust {:?}", r.trust);
+        }
+        for e in 0..10 {
+            assert_eq!(r.value(e, 0), Some(&Value::Int(e as i64 * 10)));
+            assert!(r.confidence(e, 0).unwrap() > 0.6);
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let r = truthfinder(&scenario(), &TruthFinderConfig::default(), &Vec::new());
+        assert!(r.iterations <= 20);
+        assert!(r.iterations >= 2);
+    }
+
+    #[test]
+    fn anchors_break_a_tie() {
+        // Two equal camps; without anchors the first class wins by tie-break.
+        let mut cs = ClaimSet::new(4);
+        for e in 0..6 {
+            cs.add(e, 0, "red".into(), 0);
+            cs.add(e, 0, "red".into(), 1);
+            cs.add(e, 0, "blue".into(), 2);
+            cs.add(e, 0, "blue".into(), 3);
+        }
+        let anchors: Anchors = vec![(0, 0, "blue".into()), (1, 0, "blue".into())];
+        let r = truthfinder(&cs, &TruthFinderConfig::default(), &anchors);
+        // Anchored slots decide blue, and the blue camp's earned trust tips
+        // the remaining unanchored slots too.
+        for e in 0..6 {
+            assert_eq!(
+                r.value(e, 0),
+                Some(&Value::Str("blue".into())),
+                "entity {e}"
+            );
+        }
+        assert!(r.trust[2] > r.trust[0]);
+    }
+
+    #[test]
+    fn empty_claimset() {
+        let cs = ClaimSet::new(3);
+        let r = truthfinder(&cs, &TruthFinderConfig::default(), &Vec::new());
+        assert!(r.decisions.is_empty());
+        assert!(r.trust.iter().all(|&t| (t - 0.8).abs() < 1e-9));
+    }
+
+    #[test]
+    fn numeric_tolerance_groups_close_claims() {
+        let mut cs = ClaimSet::new(3);
+        cs.rel_tol = 0.01;
+        cs.add(0, 0, Value::Float(100.0), 0);
+        cs.add(0, 0, Value::Float(100.3), 1);
+        cs.add(0, 0, Value::Float(57.0), 2);
+        let r = truthfinder(&cs, &TruthFinderConfig::default(), &Vec::new());
+        assert!(values_agree(
+            r.value(0, 0).unwrap(),
+            &Value::Float(100.0),
+            0.01
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Mapping generation from schema-match correspondences.
+
+use wrangler_context::Ontology;
+use wrangler_match::{match_schemas, select_one_to_one, MatchConfig};
+use wrangler_table::{Schema, Table};
+use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
+
+use crate::mapping::Mapping;
+
+/// Generate a mapping from `source` into `target`, matching against a
+/// `target_sample` table that carries target-schema instances (master data or
+/// previously wrangled data; instances make matching far stronger than names
+/// alone — §2.3).
+pub fn generate_mapping(
+    source: &Table,
+    target: &Schema,
+    target_sample: &Table,
+    ontology: Option<&Ontology>,
+    cfg: &MatchConfig,
+) -> Mapping {
+    debug_assert_eq!(
+        target_sample.schema().names(),
+        target.names(),
+        "sample must carry the target schema"
+    );
+    let corrs = select_one_to_one(&match_schemas(target_sample, source, ontology, cfg));
+    // Hint untyped target fields (all-null sample columns) with the dtype the
+    // ontology expects, so mapping execution can normalize values into them.
+    let target: Schema = {
+        let mut fields = target.fields().to_vec();
+        if let Some(ont) = ontology {
+            for f in &mut fields {
+                if f.dtype == wrangler_table::DataType::Null {
+                    if let Some(dt) = ont.expected_dtype(&f.name) {
+                        f.dtype = dt;
+                    }
+                }
+            }
+        }
+        Schema::new(fields).expect("names unchanged")
+    };
+    let mut bindings = vec![None; target.len()];
+    let mut binding_beliefs = vec![Belief::uninformed(); target.len()];
+    for c in &corrs {
+        bindings[c.left] = Some(c.right);
+        binding_beliefs[c.left] = c.belief.clone();
+    }
+    // Mapping-level belief: pool the binding beliefs as component evidence.
+    let mut belief = Belief::from_prior(0.5);
+    for (b, bel) in bindings.iter().zip(&binding_beliefs) {
+        if b.is_some() {
+            belief.update(&Evidence::from_score(
+                EvidenceKind::Component,
+                bel.probability(),
+            ));
+        }
+    }
+    Mapping {
+        target,
+        bindings,
+        binding_beliefs,
+        belief,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::{DataType, Value};
+
+    fn target_sample() -> Table {
+        Table::literal(
+            &["sku", "name", "price"],
+            vec![
+                vec!["a1".into(), "Acme Widget".into(), Value::Float(9.9)],
+                vec!["a2".into(), "Bolt Gadget".into(), Value::Float(19.0)],
+                vec!["a3".into(), "Acme Flange".into(), Value::Float(5.5)],
+                vec!["a4".into(), "Stark Dynamo".into(), Value::Float(7.25)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn drifted_source() -> Table {
+        Table::literal(
+            &["title", "cost", "code", "junk"],
+            vec![
+                vec![
+                    "Acme Widget".into(),
+                    Value::Float(9.9),
+                    "a1".into(),
+                    "x".into(),
+                ],
+                vec![
+                    "Stark Dynamo".into(),
+                    Value::Float(7.0),
+                    "a4".into(),
+                    "y".into(),
+                ],
+                vec![
+                    "Bolt Gadget".into(),
+                    Value::Float(18.5),
+                    "a2".into(),
+                    "z".into(),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_working_mapping_across_drifted_schema() {
+        let sample = target_sample();
+        let ont = Ontology::ecommerce();
+        let m = generate_mapping(
+            &drifted_source(),
+            sample.schema(),
+            &sample,
+            Some(&ont),
+            &MatchConfig::default(),
+        );
+        assert_eq!(m.bindings.len(), 3);
+        // sku ← code, name ← title, price ← cost.
+        assert_eq!(m.bindings[0], Some(2));
+        assert_eq!(m.bindings[1], Some(0));
+        assert_eq!(m.bindings[2], Some(1));
+        let out = m.apply(&drifted_source()).unwrap();
+        assert_eq!(out.schema().names(), vec!["sku", "name", "price"]);
+        assert_eq!(out.get_named(0, "sku").unwrap().as_str(), Some("a1"));
+        assert_eq!(out.get_named(1, "price").unwrap(), &Value::Float(7.0));
+        // The junk column is not bound anywhere.
+        assert!(m.coverage() > 0.99);
+    }
+
+    #[test]
+    fn unmatched_target_fields_stay_unbound() {
+        let sample = target_sample();
+        let mut fields = sample.schema().fields().to_vec();
+        fields.push(wrangler_table::Field::new("warranty", DataType::Str));
+        let wider = Schema::new(fields).unwrap();
+        // Build a sample with the wider schema (warranty all null).
+        let mut sample_wide = Table::empty(wider.clone());
+        for r in sample.iter_rows() {
+            let mut row = r;
+            row.push(Value::Null);
+            sample_wide.push_row(row).unwrap();
+        }
+        let m = generate_mapping(
+            &drifted_source(),
+            &wider,
+            &sample_wide,
+            None,
+            &MatchConfig::default(),
+        );
+        assert_eq!(m.bindings[3], None, "warranty has no counterpart");
+        let out = m.apply(&drifted_source()).unwrap();
+        assert!(out.get_named(0, "warranty").unwrap().is_null());
+    }
+
+    #[test]
+    fn belief_reflects_binding_strength() {
+        let sample = target_sample();
+        let ont = Ontology::ecommerce();
+        let good = generate_mapping(
+            &drifted_source(),
+            sample.schema(),
+            &sample,
+            Some(&ont),
+            &MatchConfig::default(),
+        );
+        // A source with nothing in common produces a far weaker mapping.
+        let alien = Table::literal(
+            &["a", "b"],
+            vec![vec![Value::Bool(true), Value::Bool(false)]],
+        )
+        .unwrap();
+        let bad = generate_mapping(
+            &alien,
+            sample.schema(),
+            &sample,
+            Some(&ont),
+            &MatchConfig::default(),
+        );
+        assert!(good.belief.probability() > bad.belief.probability());
+        assert!(good.coverage() > bad.coverage());
+    }
+}

@@ -1,0 +1,26 @@
+//! `wrangler-mapping` — schema mappings: generation, execution, estimation
+//! and pay-as-you-go refinement.
+//!
+//! §4.1: "the selection of which mappings to use must take into account
+//! information from the user context, such as the number of results required,
+//! the budget for accessing sources, and quality requirements." And from the
+//! dataspaces line of work (\[5\]): mappings are *refined* by feedback rather
+//! than authored once.
+//!
+//! * [`mapping`] — a [`Mapping`] reshapes one source table into the target
+//!   schema (projection + rename + cast + value normalization), carrying a
+//!   [`wrangler_uncertainty::Belief`] in its own correctness;
+//! * [`normalize`] — value cleaning applied during mapping execution
+//!   (currency symbols, thousands separators, percent signs);
+//! * [`gen`] — generate mappings from schema-match correspondences;
+//! * [`refine`] — integrate tuple-level feedback into mapping beliefs and
+//!   re-select which mappings stay active (\[5\]'s precision/recall-driven
+//!   mapping selection, recast in the uniform evidence model).
+
+pub mod gen;
+pub mod mapping;
+pub mod normalize;
+pub mod refine;
+
+pub use gen::generate_mapping;
+pub use mapping::Mapping;

@@ -1,0 +1,119 @@
+//! Value normalization applied during mapping execution.
+//!
+//! Sources render the same value many ways (`$9.99`, `9,99 €`, `1,299.00`);
+//! normalization recovers the typed value where a plain cast fails. This is
+//! deliberately conservative: anything it cannot confidently interpret is
+//! left as the original string rather than guessed (veracity: do not destroy
+//! evidence).
+
+use wrangler_table::{DataType, Value};
+
+/// Try to interpret a string as a number, tolerating currency symbols,
+/// thousands separators, decimal commas and percent signs.
+pub fn parse_messy_number(raw: &str) -> Option<f64> {
+    let mut s: String = raw
+        .trim()
+        .trim_start_matches(['$', '€', '£', '¥'])
+        .trim_end_matches(['$', '€', '£', '¥'])
+        .trim()
+        .to_string();
+    // Currency codes around the number.
+    for code in ["USD", "EUR", "GBP", "usd", "eur", "gbp"] {
+        s = s
+            .trim_start_matches(code)
+            .trim_end_matches(code)
+            .trim()
+            .to_string();
+    }
+    let percent = s.ends_with('%');
+    if percent {
+        s.pop();
+    }
+    // Decide comma semantics: "1,299.00" (thousands) vs "9,99" (decimal).
+    if s.contains(',') && s.contains('.') {
+        s = s.replace(',', "");
+    } else if let Some(pos) = s.rfind(',') {
+        let frac = s.len() - pos - 1;
+        if frac == 3 && s.matches(',').count() >= 1 && !s[..pos].is_empty() && s.len() > 4 {
+            // 1,299 style: ambiguous; treat as thousands only when groups of 3.
+            s = s.replace(',', "");
+        } else {
+            s = s.replace(',', ".");
+        }
+    }
+    let v: f64 = s.trim().parse().ok()?;
+    Some(if percent { v / 100.0 } else { v })
+}
+
+/// Coerce a value to the target type, trying messy-number recovery for
+/// numeric targets. Returns the original value when interpretation fails.
+pub fn normalize_to(v: &Value, target: DataType) -> Value {
+    if v.is_null() || v.dtype() == target {
+        return v.clone();
+    }
+    if let Ok(coerced) = v.coerce(target) {
+        return coerced;
+    }
+    if target.is_numeric() {
+        if let Some(s) = v.as_str() {
+            if let Some(n) = parse_messy_number(s) {
+                return match target {
+                    DataType::Int if n.fract() == 0.0 => Value::Int(n as i64),
+                    _ => Value::Float(n),
+                };
+            }
+        }
+    }
+    v.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn currency_symbols_and_codes() {
+        assert_eq!(parse_messy_number("$9.99"), Some(9.99));
+        assert_eq!(parse_messy_number("9.99 €"), Some(9.99));
+        assert_eq!(parse_messy_number("GBP 12.50"), Some(12.5));
+        assert_eq!(parse_messy_number(" 42 "), Some(42.0));
+    }
+
+    #[test]
+    fn separators() {
+        assert_eq!(parse_messy_number("1,299.00"), Some(1299.0));
+        assert_eq!(parse_messy_number("9,99"), Some(9.99));
+        assert_eq!(parse_messy_number("1,299"), Some(1299.0));
+    }
+
+    #[test]
+    fn percent() {
+        assert_eq!(parse_messy_number("15%"), Some(0.15));
+    }
+
+    #[test]
+    fn garbage_is_none() {
+        assert_eq!(parse_messy_number("call us"), None);
+        assert_eq!(parse_messy_number(""), None);
+        assert_eq!(parse_messy_number("$"), None);
+    }
+
+    #[test]
+    fn normalize_to_recovers_messy_prices() {
+        assert_eq!(
+            normalize_to(&"$9.99".into(), DataType::Float),
+            Value::Float(9.99)
+        );
+        assert_eq!(normalize_to(&"7".into(), DataType::Int), Value::Int(7));
+        assert_eq!(
+            normalize_to(&Value::Int(3), DataType::Float),
+            Value::Float(3.0)
+        );
+        // Unrecoverable: original preserved.
+        assert_eq!(
+            normalize_to(&"ring for price".into(), DataType::Float),
+            Value::Str("ring for price".into())
+        );
+        assert_eq!(normalize_to(&Value::Null, DataType::Float), Value::Null);
+    }
+}

@@ -1,0 +1,32 @@
+//! `wrangler-match` — schema matching with multi-evidence combination.
+//!
+//! §2.3: "a product types ontology could be used ... as an input to the
+//! matching of sources that supplements syntactic matching"; §4.1 requires
+//! integration components to "take account of a range of different sources of
+//! evolving evidence". Matching is where that shows first: deciding that one
+//! source's `cost` column corresponds to another's `price` takes
+//!
+//! * **name evidence** ([`name`]) — edit-distance / token / n-gram
+//!   similarity of column names;
+//! * **instance evidence** ([`instance`]) — type compatibility, value
+//!   overlap and distribution similarity of column contents;
+//! * **semantic evidence** ([`semantic`]) — concept similarity under the
+//!   data context's ontology;
+//!
+//! each mapped to a [`wrangler_uncertainty::Evidence`] and pooled into a
+//! [`wrangler_uncertainty::Belief`] per column pair ([`combine`]), so the
+//! matcher's output carries honest uncertainty instead of an opaque score.
+//! [`select`] then extracts a one-to-one correspondence set.
+//!
+//! The single-evidence baseline for experiment E5 is obtained by disabling
+//! evidence kinds in [`combine::MatchConfig`].
+
+pub mod combine;
+pub mod instance;
+pub mod name;
+pub mod select;
+pub mod semantic;
+pub mod strsim;
+
+pub use combine::{match_schemas, Correspondence, MatchConfig};
+pub use select::select_one_to_one;

@@ -1,0 +1,84 @@
+//! One-to-one match selection.
+//!
+//! The matcher proposes a many-to-many scored bipartite graph; integration
+//! needs an injective correspondence (each target attribute fed by at most
+//! one source column). Greedy selection by descending probability is the
+//! standard 1:1 extraction and is a 1/2-approximation of the max-weight
+//! matching — ample here, since downstream mapping selection re-scores
+//! against the user context anyway.
+
+use crate::combine::Correspondence;
+
+/// Select a one-to-one subset of `correspondences`, greedily by probability.
+/// Input order is used to break ties (callers get deterministic output
+/// because [`crate::combine::match_schemas`] sorts).
+pub fn select_one_to_one(correspondences: &[Correspondence]) -> Vec<Correspondence> {
+    let mut used_left = std::collections::HashSet::new();
+    let mut used_right = std::collections::HashSet::new();
+    let mut sorted: Vec<&Correspondence> = correspondences.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.probability()
+            .partial_cmp(&a.probability())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = Vec::new();
+    for c in sorted {
+        if used_left.contains(&c.left) || used_right.contains(&c.right) {
+            continue;
+        }
+        used_left.insert(c.left);
+        used_right.insert(c.right);
+        out.push(c.clone());
+    }
+    out.sort_by_key(|c| c.left);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
+
+    fn corr(left: usize, right: usize, p: f64) -> Correspondence {
+        let b = Belief::uninformed().with(&Evidence::from_score(EvidenceKind::NameSimilarity, p));
+        Correspondence {
+            left,
+            right,
+            belief: b,
+        }
+    }
+
+    #[test]
+    fn greedy_takes_strongest_conflicting_edge() {
+        let corrs = vec![
+            corr(0, 0, 0.9),
+            corr(0, 1, 0.8),
+            corr(1, 0, 0.85),
+            corr(1, 1, 0.6),
+        ];
+        let sel = select_one_to_one(&corrs);
+        assert_eq!(sel.len(), 2);
+        assert_eq!((sel[0].left, sel[0].right), (0, 0));
+        assert_eq!((sel[1].left, sel[1].right), (1, 1));
+    }
+
+    #[test]
+    fn injective_on_both_sides() {
+        let corrs = vec![corr(0, 0, 0.9), corr(1, 0, 0.89), corr(2, 0, 0.88)];
+        let sel = select_one_to_one(&corrs);
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(select_one_to_one(&[]).is_empty());
+    }
+
+    #[test]
+    fn output_ordered_by_left_index() {
+        let corrs = vec![corr(2, 2, 0.9), corr(0, 0, 0.7), corr(1, 1, 0.8)];
+        let sel = select_one_to_one(&corrs);
+        let lefts: Vec<usize> = sel.iter().map(|c| c.left).collect();
+        assert_eq!(lefts, vec![0, 1, 2]);
+    }
+}

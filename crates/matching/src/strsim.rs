@@ -1,0 +1,245 @@
+//! String similarity primitives.
+//!
+//! Implemented from the literature definitions; all return similarities in
+//! \[0, 1\] with 1 = identical. Used by schema matching (on names) and entity
+//! resolution (on values).
+
+/// Levenshtein edit distance (unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 − dist / max_len` (1.0 for two empty strings).
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut by_j = matches_a.clone();
+    by_j.sort_by_key(|&(_, j)| j);
+    let t = matches_a
+        .iter()
+        .zip(&by_j)
+        .filter(|((_, j1), (_, j2))| j1 != j2)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard 0.1 prefix scale, capped at a
+/// 4-character common prefix.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of whitespace/underscore/hyphen-separated lowercase
+/// token sets.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.iter().filter(|t| tb.contains(*t)).count();
+    let union = ta.len() + tb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+fn tokens(s: &str) -> Vec<String> {
+    let mut out: Vec<String> = s
+        .to_lowercase()
+        .split(|c: char| c.is_whitespace() || c == '_' || c == '-' || c == '.')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Dice coefficient over character bigrams of the lowercased strings.
+pub fn bigram_dice(a: &str, b: &str) -> f64 {
+    let ba = bigrams(a);
+    let bb = bigrams(b);
+    if ba.is_empty() && bb.is_empty() {
+        return 1.0;
+    }
+    if ba.is_empty() || bb.is_empty() {
+        return 0.0;
+    }
+    let mut bb_used = vec![false; bb.len()];
+    let mut inter = 0usize;
+    for g in &ba {
+        if let Some(j) = bb
+            .iter()
+            .enumerate()
+            .position(|(j, h)| !bb_used[j] && h == g)
+        {
+            bb_used[j] = true;
+            inter += 1;
+        }
+    }
+    2.0 * inter as f64 / (ba.len() + bb.len()) as f64
+}
+
+fn bigrams(s: &str) -> Vec<(char, char)> {
+    let cs: Vec<char> = s.to_lowercase().chars().collect();
+    cs.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The combined *name similarity* used by the name matcher: the maximum of
+/// Jaro–Winkler, token Jaccard and bigram Dice — names match if they are
+/// close under any common convention (abbreviation, reordering, typo).
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    if a.eq_ignore_ascii_case(b) {
+        return 1.0;
+    }
+    jaro_winkler(&a.to_lowercase(), &b.to_lowercase())
+        .max(token_jaccard(a, b))
+        .max(bigram_dice(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert!((levenshtein_sim("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook pairs.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-4);
+        assert!((jaro("DWAYNE", "DUANE") - 0.822_222).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefix() {
+        let jw = jaro_winkler("MARTHA", "MARHTA");
+        assert!((jw - 0.961_111).abs() < 1e-4);
+        assert!(jaro_winkler("price", "priced") > jaro("price", "priced"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn token_jaccard_handles_separators() {
+        assert_eq!(token_jaccard("unit price", "price_unit"), 1.0);
+        assert!((token_jaccard("sale price", "price") - 0.5).abs() < 1e-12);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn bigram_dice_behaviour() {
+        assert_eq!(bigram_dice("night", "night"), 1.0);
+        assert!(bigram_dice("night", "nacht") > 0.0);
+        assert!(bigram_dice("night", "nacht") < 0.5);
+        assert_eq!(bigram_dice("a", "a"), 1.0); // no bigrams on either side
+        assert_eq!(bigram_dice("ab", "xy"), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_recognizes_conventions() {
+        assert_eq!(name_similarity("Price", "price"), 1.0);
+        assert!(name_similarity("unit_price", "price unit") > 0.9);
+        assert!(name_similarity("prce", "price") > 0.8); // typo
+        assert!(name_similarity("price", "category") < 0.6);
+    }
+
+    #[test]
+    fn similarities_are_symmetric_and_bounded() {
+        let pairs = [
+            ("price", "cost"),
+            ("name", "title"),
+            ("", "x"),
+            ("ab", "ab"),
+        ];
+        for (a, b) in pairs {
+            for f in [
+                levenshtein_sim,
+                jaro,
+                jaro_winkler,
+                token_jaccard,
+                bigram_dice,
+            ] {
+                let x = f(a, b);
+                let y = f(b, a);
+                assert!((x - y).abs() < 1e-12, "asymmetry on ({a},{b})");
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for schema matching: similarity laws and matcher sanity.
+
+use proptest::prelude::*;
+use wrangler_match::instance::{instance_signals, instance_similarity, profile};
+use wrangler_match::strsim::{
+    bigram_dice, jaro, jaro_winkler, levenshtein, levenshtein_sim, name_similarity, token_jaccard,
+};
+use wrangler_match::{match_schemas, select_one_to_one, MatchConfig};
+use wrangler_table::{Table, Value};
+
+proptest! {
+    #[test]
+    fn string_sims_identity_symmetry_bounds(a in "[ -~]{0,16}", b in "[ -~]{0,16}") {
+        for f in [levenshtein_sim, jaro, jaro_winkler, token_jaccard, bigram_dice, name_similarity] {
+            let ab = f(&a, &b);
+            let ba = f(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12, "asymmetric on {a:?},{b:?}");
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+            prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12, "self-sim != 1 on {a:?}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_lengths(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    #[test]
+    fn instance_similarity_laws(
+        xs in prop::collection::vec(-100.0f64..100.0, 0..20),
+        ys in prop::collection::vec(-100.0f64..100.0, 0..20),
+    ) {
+        let a = profile(&xs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>());
+        let b = profile(&ys.iter().map(|&y| Value::Float(y)).collect::<Vec<_>>());
+        let ab = instance_similarity(&a, &b);
+        let ba = instance_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        let s = instance_signals(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s.type_score));
+        if let Some(o) = s.overlap {
+            prop_assert!((0.0..=1.0).contains(&o));
+        }
+        if let Some(d) = s.distribution {
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn matcher_output_is_valid(
+        names_l in prop::collection::hash_set("[a-f]{2,6}", 1..5),
+        names_r in prop::collection::hash_set("[a-f]{2,6}", 1..5),
+        rows in 0usize..6,
+    ) {
+        let names_l: Vec<String> = names_l.into_iter().collect();
+        let names_r: Vec<String> = names_r.into_iter().collect();
+        let mk = |names: &[String]| {
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let data = (0..rows)
+                .map(|i| names.iter().map(|_| Value::Int(i as i64)).collect())
+                .collect();
+            Table::literal(&refs, data).expect("aligned")
+        };
+        let l = mk(&names_l);
+        let r = mk(&names_r);
+        let corrs = match_schemas(&l, &r, None, &MatchConfig::default());
+        for c in &corrs {
+            prop_assert!(c.left < l.num_columns());
+            prop_assert!(c.right < r.num_columns());
+            prop_assert!((0.0..=1.0).contains(&c.probability()));
+        }
+        // One-to-one selection is injective both ways.
+        let sel = select_one_to_one(&corrs);
+        let lefts: std::collections::HashSet<_> = sel.iter().map(|c| c.left).collect();
+        let rights: std::collections::HashSet<_> = sel.iter().map(|c| c.right).collect();
+        prop_assert_eq!(lefts.len(), sel.len());
+        prop_assert_eq!(rights.len(), sel.len());
+    }
+
+    #[test]
+    fn identical_tables_match_identically_named_columns(
+        names in prop::collection::hash_set("[a-f]{3,7}", 2..5),
+        rows in 3usize..8,
+    ) {
+        let names: Vec<String> = names.into_iter().collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(c, _)| Value::from(format!("v{c}_{i}")))
+                    .collect()
+            })
+            .collect();
+        let t = Table::literal(&refs, data).expect("aligned");
+        let corrs = select_one_to_one(&match_schemas(&t, &t, None, &MatchConfig::default()));
+        // Every column pairs with itself.
+        for c in &corrs {
+            prop_assert_eq!(c.left, c.right, "column matched to a different column");
+        }
+        prop_assert_eq!(corrs.len(), names.len());
+    }
+}

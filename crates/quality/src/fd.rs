@@ -1,0 +1,477 @@
+//! Functional dependencies and conditional functional dependencies.
+//!
+//! An FD `X → A` says rows agreeing on the columns `X` must agree on `A`.
+//! A CFD additionally restricts the rule to rows matching a constant pattern
+//! and may force a constant on the right-hand side — the workhorse constraint
+//! class of data cleaning. Violation counting supplies the *consistency*
+//! criterion score; [`crate::repair`] consumes the violations.
+//!
+//! Mining exact FDs is exponential in the schema and repairing violations is
+//! NP-hard (§4.3: "many quality analyses are intractable \[7\]"); we implement
+//! the standard practical compromises: single/double-column LHS mining with
+//! support & confidence thresholds, and greedy repair.
+
+use std::collections::HashMap;
+
+use wrangler_table::{Table, Value};
+
+/// A functional dependency `lhs → rhs` over column indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant column indices (non-empty, sorted).
+    pub lhs: Vec<usize>,
+    /// Dependent column index.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Construct, normalizing the LHS order.
+    pub fn new(mut lhs: Vec<usize>, rhs: usize) -> Fd {
+        lhs.sort_unstable();
+        lhs.dedup();
+        assert!(!lhs.is_empty(), "FD needs a determinant");
+        assert!(!lhs.contains(&rhs), "trivial FD");
+        Fd { lhs, rhs }
+    }
+}
+
+/// A pattern cell: a required constant or a wildcard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Any value matches.
+    Any,
+    /// Exactly this value matches.
+    Const(Value),
+}
+
+impl Pattern {
+    fn matches(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Const(c) => v == c,
+        }
+    }
+}
+
+/// A conditional functional dependency: an embedded FD plus one tableau row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfd {
+    /// The embedded FD.
+    pub fd: Fd,
+    /// One pattern per LHS column (aligned with `fd.lhs`).
+    pub lhs_patterns: Vec<Pattern>,
+    /// Pattern for the RHS: `Any` means "must agree within the group",
+    /// `Const(c)` means "must equal c".
+    pub rhs_pattern: Pattern,
+}
+
+impl Cfd {
+    /// A plain (unconditional) FD as a CFD.
+    pub fn plain(fd: Fd) -> Cfd {
+        let n = fd.lhs.len();
+        Cfd {
+            fd,
+            lhs_patterns: vec![Pattern::Any; n],
+            rhs_pattern: Pattern::Any,
+        }
+    }
+
+    /// True if row `i` of `table` matches the LHS patterns (and has no null
+    /// LHS cells — nulls neither match nor violate, per the usual semantics).
+    fn row_in_scope(&self, table: &Table, i: usize) -> bool {
+        for (&c, p) in self.fd.lhs.iter().zip(&self.lhs_patterns) {
+            let v = table.get(i, c).expect("in bounds");
+            if v.is_null() || !p.matches(v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Row indices of the violating cluster (rows agreeing on the LHS whose
+    /// RHS values conflict, or rows whose RHS differs from a required
+    /// constant).
+    pub rows: Vec<usize>,
+    /// The RHS column.
+    pub column: usize,
+    /// The conflicting RHS values present.
+    pub values: Vec<Value>,
+}
+
+/// Detect all violations of `cfd` in `table`.
+///
+/// For a variable CFD (RHS = `Any`), each LHS-group with ≥ 2 distinct
+/// non-null RHS values yields one [`Violation`]. For a constant CFD, each
+/// in-scope row whose RHS is non-null and ≠ the constant yields a singleton
+/// violation.
+pub fn violations(table: &Table, cfd: &Cfd) -> Vec<Violation> {
+    let mut out = Vec::new();
+    match &cfd.rhs_pattern {
+        Pattern::Const(c) => {
+            for i in 0..table.num_rows() {
+                if !cfd.row_in_scope(table, i) {
+                    continue;
+                }
+                let v = table.get(i, cfd.fd.rhs).expect("in bounds");
+                if !v.is_null() && v != c {
+                    out.push(Violation {
+                        rows: vec![i],
+                        column: cfd.fd.rhs,
+                        values: vec![v.clone()],
+                    });
+                }
+            }
+        }
+        Pattern::Any => {
+            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for i in 0..table.num_rows() {
+                if !cfd.row_in_scope(table, i) {
+                    continue;
+                }
+                let key: Vec<Value> = cfd
+                    .fd
+                    .lhs
+                    .iter()
+                    .map(|&c| table.get(i, c).unwrap().clone())
+                    .collect();
+                groups.entry(key).or_default().push(i);
+            }
+            let mut keyed: Vec<(Vec<Value>, Vec<usize>)> = groups.into_iter().collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
+            for (_, rows) in keyed {
+                let mut distinct: Vec<Value> = Vec::new();
+                for &i in &rows {
+                    let v = table.get(i, cfd.fd.rhs).unwrap();
+                    if !v.is_null() && !distinct.contains(v) {
+                        distinct.push(v.clone());
+                    }
+                }
+                if distinct.len() > 1 {
+                    out.push(Violation {
+                        rows,
+                        column: cfd.fd.rhs,
+                        values: distinct,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of rows involved in at least one violation of any given CFD
+/// (0 when there are no rules or no rows).
+pub fn violation_rate(table: &Table, cfds: &[Cfd]) -> f64 {
+    if table.num_rows() == 0 || cfds.is_empty() {
+        return 0.0;
+    }
+    let mut bad = vec![false; table.num_rows()];
+    for cfd in cfds {
+        for v in violations(table, cfd) {
+            for &r in &v.rows {
+                bad[r] = true;
+            }
+        }
+    }
+    bad.iter().filter(|&&b| b).count() as f64 / table.num_rows() as f64
+}
+
+/// Configuration for approximate FD/CFD mining.
+#[derive(Debug, Clone, Copy)]
+pub struct MineConfig {
+    /// Minimum rows an LHS group (or pattern) must cover.
+    pub min_support: usize,
+    /// Minimum fraction of rows per group whose RHS equals the group's
+    /// majority RHS (1.0 mines exact FDs).
+    pub min_confidence: f64,
+    /// Maximum LHS size (1 or 2).
+    pub max_lhs: usize,
+}
+
+impl Default for MineConfig {
+    fn default() -> Self {
+        MineConfig {
+            min_support: 3,
+            min_confidence: 0.95,
+            max_lhs: 2,
+        }
+    }
+}
+
+/// Mine approximate FDs with LHS size ≤ `max_lhs`.
+///
+/// A candidate `X → A` qualifies if, over the groups of rows agreeing on
+/// non-null `X`, the weighted mean of (majority RHS frequency within group)
+/// is ≥ `min_confidence`, the candidate covers ≥ `min_support` rows, and the
+/// LHS is not a key (key-like LHS make every FD vacuously true).
+pub fn mine_fds(table: &Table, cfg: &MineConfig) -> Vec<Fd> {
+    let n = table.num_columns();
+    let mut out = Vec::new();
+    let mut lhs_sets: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    if cfg.max_lhs >= 2 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                lhs_sets.push(vec![i, j]);
+            }
+        }
+    }
+    for lhs in lhs_sets {
+        for rhs in 0..n {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            if let Some((support, confidence, groups)) = evaluate_fd(table, &lhs, rhs) {
+                // Skip key-like LHS: every group a singleton proves nothing.
+                if groups > 0 && support / groups == 1 {
+                    continue;
+                }
+                if support >= cfg.min_support && confidence >= cfg.min_confidence {
+                    out.push(Fd::new(lhs.clone(), rhs));
+                }
+            }
+        }
+    }
+    // Prefer smaller LHS: drop 2-column FDs whose projection to either single
+    // column already holds.
+    let singles: Vec<Fd> = out.iter().filter(|f| f.lhs.len() == 1).cloned().collect();
+    out.retain(|f| {
+        f.lhs.len() == 1
+            || !singles
+                .iter()
+                .any(|s| s.rhs == f.rhs && f.lhs.contains(&s.lhs[0]))
+    });
+    out
+}
+
+/// Returns (rows covered, confidence, group count) for candidate `lhs → rhs`.
+fn evaluate_fd(table: &Table, lhs: &[usize], rhs: usize) -> Option<(usize, f64, usize)> {
+    let mut groups: HashMap<Vec<&Value>, HashMap<&Value, usize>> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let mut key = Vec::with_capacity(lhs.len());
+        let mut null = false;
+        for &c in lhs {
+            let v = table.get(i, c).unwrap();
+            if v.is_null() {
+                null = true;
+                break;
+            }
+            key.push(v);
+        }
+        if null {
+            continue;
+        }
+        let v = table.get(i, rhs).unwrap();
+        if v.is_null() {
+            continue;
+        }
+        *groups.entry(key).or_default().entry(v).or_insert(0) += 1;
+    }
+    if groups.is_empty() {
+        return None;
+    }
+    let mut covered = 0usize;
+    let mut majority = 0usize;
+    for counts in groups.values() {
+        let total: usize = counts.values().sum();
+        let max = counts.values().copied().max().unwrap_or(0);
+        covered += total;
+        majority += max;
+    }
+    Some((covered, majority as f64 / covered as f64, groups.len()))
+}
+
+/// Mine constant CFDs `(X = x) → (A = a)`: frequent single-column constants
+/// that (almost) determine a constant RHS.
+pub fn mine_constant_cfds(table: &Table, cfg: &MineConfig) -> Vec<Cfd> {
+    let n = table.num_columns();
+    let mut out = Vec::new();
+    for lhs in 0..n {
+        for rhs in 0..n {
+            if lhs == rhs {
+                continue;
+            }
+            // Group rows by LHS value; look for dominant RHS constants.
+            let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
+            for i in 0..table.num_rows() {
+                let l = table.get(i, lhs).unwrap();
+                let r = table.get(i, rhs).unwrap();
+                if l.is_null() || r.is_null() {
+                    continue;
+                }
+                *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
+            }
+            let mut items: Vec<(&Value, &HashMap<&Value, usize>)> =
+                groups.iter().map(|(k, v)| (*k, v)).collect();
+            items.sort_by(|a, b| a.0.cmp(b.0));
+            for (lval, counts) in items {
+                let total: usize = counts.values().sum();
+                if total < cfg.min_support {
+                    continue;
+                }
+                if let Some((rval, cnt)) = counts.iter().max_by_key(|(_, c)| **c) {
+                    if *cnt as f64 / total as f64 >= cfg.min_confidence {
+                        // Only emit if the rule is non-trivial: RHS not constant
+                        // over the whole column anyway is checked by caller use.
+                        out.push(Cfd {
+                            fd: Fd::new(vec![lhs], rhs),
+                            lhs_patterns: vec![Pattern::Const((*lval).clone())],
+                            rhs_pattern: Pattern::Const((**rval).clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// zip → city with one violation: row 3 says 90210 → "SF".
+    fn addresses() -> Table {
+        Table::literal(
+            &["name", "zip", "city"],
+            vec![
+                vec!["a".into(), "90210".into(), "LA".into()],
+                vec!["b".into(), "90210".into(), "LA".into()],
+                vec!["c".into(), "94103".into(), "SF".into()],
+                vec!["d".into(), "90210".into(), "SF".into()],
+                vec!["e".into(), "94103".into(), "SF".into()],
+                vec!["f".into(), Value::Null, "NY".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn variable_cfd_violations() {
+        let t = addresses();
+        let cfd = Cfd::plain(Fd::new(vec![1], 2)); // zip → city
+        let vs = violations(&t, &cfd);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rows, vec![0, 1, 3]);
+        assert_eq!(vs[0].values.len(), 2);
+        // Null LHS rows are out of scope.
+        assert!(!vs.iter().any(|v| v.rows.contains(&5)));
+    }
+
+    #[test]
+    fn constant_cfd_violations() {
+        let t = addresses();
+        let cfd = Cfd {
+            fd: Fd::new(vec![1], 2),
+            lhs_patterns: vec![Pattern::Const("90210".into())],
+            rhs_pattern: Pattern::Const("LA".into()),
+        };
+        let vs = violations(&t, &cfd);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rows, vec![3]);
+        assert_eq!(vs[0].values, vec![Value::Str("SF".into())]);
+    }
+
+    #[test]
+    fn violation_rate_counts_involved_rows() {
+        let t = addresses();
+        let cfd = Cfd::plain(Fd::new(vec![1], 2));
+        let rate = violation_rate(&t, &[cfd]);
+        assert!((rate - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(violation_rate(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn mine_recovers_fd_with_noise_tolerance() {
+        let t = addresses();
+        // With 95% confidence the noisy zip→city does NOT qualify (4/5 clean).
+        let strict = mine_fds(
+            &t,
+            &MineConfig {
+                min_support: 3,
+                min_confidence: 0.95,
+                max_lhs: 1,
+            },
+        );
+        assert!(!strict.contains(&Fd::new(vec![1], 2)));
+        // With 75% it does.
+        let loose = mine_fds(
+            &t,
+            &MineConfig {
+                min_support: 3,
+                min_confidence: 0.75,
+                max_lhs: 1,
+            },
+        );
+        assert!(loose.contains(&Fd::new(vec![1], 2)));
+    }
+
+    #[test]
+    fn mine_skips_key_like_lhs() {
+        let t = addresses();
+        let fds = mine_fds(
+            &t,
+            &MineConfig {
+                min_support: 1,
+                min_confidence: 1.0,
+                max_lhs: 1,
+            },
+        );
+        // name is a key; name→zip etc. must not be reported.
+        assert!(!fds.iter().any(|f| f.lhs == vec![0]));
+    }
+
+    #[test]
+    fn mine_prefers_minimal_lhs() {
+        let t = addresses();
+        let fds = mine_fds(
+            &t,
+            &MineConfig {
+                min_support: 2,
+                min_confidence: 0.75,
+                max_lhs: 2,
+            },
+        );
+        // zip→city holds at 75%; {zip,name}→city must be suppressed (name,zip is key-like anyway).
+        assert!(fds
+            .iter()
+            .all(|f| !(f.lhs.len() == 2 && f.lhs.contains(&1) && f.rhs == 2)));
+    }
+
+    #[test]
+    fn mine_constant_cfds_finds_dominant_pattern() {
+        let t = addresses();
+        let cfds = mine_constant_cfds(
+            &t,
+            &MineConfig {
+                min_support: 2,
+                min_confidence: 1.0,
+                max_lhs: 1,
+            },
+        );
+        // 94103 → SF holds exactly with support 2.
+        assert!(cfds.iter().any(|c| {
+            c.lhs_patterns == vec![Pattern::Const("94103".into())]
+                && c.rhs_pattern == Pattern::Const("SF".into())
+        }));
+        // 90210 → LA only at 2/3 confidence: excluded at 1.0.
+        assert!(!cfds
+            .iter()
+            .any(|c| c.lhs_patterns == vec![Pattern::Const("90210".into())] && c.fd.rhs == 2));
+    }
+
+    #[test]
+    fn fd_constructor_normalizes() {
+        let fd = Fd::new(vec![3, 1, 3], 0);
+        assert_eq!(fd.lhs, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn trivial_fd_panics() {
+        Fd::new(vec![1], 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Robust outlier detection.
+//!
+//! Veracity (§1) shows up as wrong geo-locations, fantasy prices and
+//! misspelled categories. Without ground truth, robust statistics are the
+//! available accuracy proxy: numeric outliers via the median absolute
+//! deviation (MAD), categorical anomalies via rare-value frequency.
+
+use wrangler_table::Value;
+
+/// A flagged cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outlier {
+    /// Row index in the inspected column.
+    pub row: usize,
+    /// The offending value.
+    pub value: Value,
+    /// Robust z-score (numeric) or inverse frequency score (categorical).
+    pub score: f64,
+}
+
+/// Median of a slice (mean of middle two for even length). Empty → None.
+fn median(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = xs.len();
+    Some(if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    })
+}
+
+/// MAD-based numeric outliers: values whose robust z-score
+/// `0.6745·|x − median| / MAD` exceeds `threshold` (3.5 is the standard
+/// Iglewicz–Hoaglin cut). Non-numeric and null cells are ignored. When MAD is
+/// zero (over half the values identical) any differing value is flagged with
+/// an infinite score.
+pub fn numeric_outliers(values: &[Value], threshold: f64) -> Vec<Outlier> {
+    let numeric: Vec<(usize, f64)> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.as_f64().map(|x| (i, x)))
+        .filter(|(_, x)| x.is_finite())
+        .collect();
+    if numeric.len() < 3 {
+        return Vec::new();
+    }
+    let mut xs: Vec<f64> = numeric.iter().map(|(_, x)| *x).collect();
+    let med = median(&mut xs).expect("nonempty");
+    let mut devs: Vec<f64> = numeric.iter().map(|(_, x)| (x - med).abs()).collect();
+    let mad = median(&mut devs).expect("nonempty");
+    let mut out = Vec::new();
+    for (i, x) in &numeric {
+        let score = if mad > 0.0 {
+            0.6745 * (x - med).abs() / mad
+        } else if (x - med).abs() > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        if score > threshold {
+            out.push(Outlier {
+                row: *i,
+                value: values[*i].clone(),
+                score,
+            });
+        }
+    }
+    out
+}
+
+/// Rare-category detection: non-null values occurring in at most
+/// `max_fraction` of non-null cells, provided the column is dominated by a
+/// few frequent categories (distinctness below `max_distinctness`, otherwise
+/// the column is id-like and rarity is meaningless).
+pub fn rare_categories(values: &[Value], max_fraction: f64, max_distinctness: f64) -> Vec<Outlier> {
+    let non_null: Vec<(usize, &Value)> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_null())
+        .collect();
+    if non_null.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<(&Value, usize)> = Vec::new();
+    for (_, v) in &non_null {
+        match counts.iter_mut().find(|(u, _)| u == v) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((v, 1)),
+        }
+    }
+    let distinctness = counts.len() as f64 / non_null.len() as f64;
+    if distinctness > max_distinctness {
+        return Vec::new();
+    }
+    let total = non_null.len() as f64;
+    let mut out = Vec::new();
+    for (i, v) in &non_null {
+        let freq = counts
+            .iter()
+            .find(|(u, _)| u == v)
+            .map(|(_, n)| *n)
+            .unwrap_or(0) as f64
+            / total;
+        if freq <= max_fraction {
+            out.push(Outlier {
+                row: *i,
+                value: (*v).clone(),
+                score: 1.0 / freq,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(xs: &[f64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Float(x)).collect()
+    }
+
+    #[test]
+    fn flags_gross_numeric_outlier() {
+        let v = vals(&[10.0, 11.0, 9.5, 10.5, 10.2, 500.0]);
+        let out = numeric_outliers(&v, 3.5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].row, 5);
+        assert!(out[0].score > 3.5);
+    }
+
+    #[test]
+    fn clean_data_unflagged() {
+        let v = vals(&[10.0, 10.5, 9.8, 10.1, 10.3]);
+        assert!(numeric_outliers(&v, 3.5).is_empty());
+    }
+
+    #[test]
+    fn zero_mad_flags_any_deviation() {
+        let v = vals(&[5.0, 5.0, 5.0, 5.0, 7.0]);
+        let out = numeric_outliers(&v, 3.5);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].score.is_infinite());
+    }
+
+    #[test]
+    fn too_few_points_is_silent() {
+        assert!(numeric_outliers(&vals(&[1.0, 100.0]), 3.5).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_numeric_and_null() {
+        let mut v = vals(&[10.0, 10.0, 10.0, 10.0]);
+        v.push(Value::Str("oops".into()));
+        v.push(Value::Null);
+        v.push(Value::Float(99.0));
+        let out = numeric_outliers(&v, 3.5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].row, 6);
+    }
+
+    #[test]
+    fn rare_category_detection() {
+        let mut v: Vec<Value> = Vec::new();
+        for _ in 0..20 {
+            v.push("electronics".into());
+        }
+        for _ in 0..15 {
+            v.push("books".into());
+        }
+        v.push("elektronics".into()); // the misspelling
+        let out = rare_categories(&v, 0.05, 0.5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::Str("elektronics".into()));
+    }
+
+    #[test]
+    fn id_like_columns_not_flagged() {
+        let v: Vec<Value> = (0..30).map(|i| Value::Str(format!("id{i}"))).collect();
+        assert!(rare_categories(&v, 0.05, 0.5).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rare_categories(&[], 0.1, 0.5).is_empty());
+        assert!(numeric_outliers(&[], 3.5).is_empty());
+    }
+}

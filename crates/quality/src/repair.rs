@@ -1,0 +1,282 @@
+//! Cost-based repair of CFD violations by value modification.
+//!
+//! After Bohannon et al. \[7\] ("A cost-based model and effective heuristic for
+//! repairing constraints by value modification"): finding a minimum-cost
+//! repair is NP-hard, so we use their greedy strategy — resolve each
+//! violating cluster by moving the minority to the *least-cost* consensus,
+//! where each cell carries a modification cost (default 1.0; callers lower
+//! the cost of cells they distrust, e.g. from low-trust sources, and raise it
+//! for user-confirmed cells, wiring feedback into cleaning).
+
+use std::collections::HashMap;
+
+use wrangler_table::{Table, Value};
+
+use crate::fd::{violations, Cfd, Pattern};
+
+/// Per-cell modification costs; cells not present cost `default_cost`.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    default_cost: f64,
+    overrides: HashMap<(usize, usize), f64>,
+}
+
+impl CostModel {
+    /// Uniform costs.
+    pub fn uniform(default_cost: f64) -> CostModel {
+        CostModel {
+            default_cost,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Set the cost of modifying cell (`row`, `col`). `f64::INFINITY` pins a
+    /// cell (e.g. confirmed correct by user feedback).
+    pub fn set(&mut self, row: usize, col: usize, cost: f64) {
+        self.overrides.insert((row, col), cost);
+    }
+
+    /// Cost of modifying cell (`row`, `col`).
+    pub fn cost(&self, row: usize, col: usize) -> f64 {
+        self.overrides
+            .get(&(row, col))
+            .copied()
+            .unwrap_or(self.default_cost)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::uniform(1.0)
+    }
+}
+
+/// One applied cell repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// Row of the modified cell.
+    pub row: usize,
+    /// Column of the modified cell.
+    pub column: usize,
+    /// Value before repair.
+    pub old: Value,
+    /// Value after repair.
+    pub new: Value,
+    /// Cost charged.
+    pub cost: f64,
+}
+
+/// Result of a repair run.
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    /// Applied repairs, in application order.
+    pub repairs: Vec<Repair>,
+    /// Total cost.
+    pub total_cost: f64,
+    /// Number of fixpoint iterations used.
+    pub iterations: usize,
+    /// Whether a violation-free fixpoint was reached.
+    pub clean: bool,
+}
+
+/// Greedily repair `table` against `cfds`, iterating to a fixpoint (or
+/// `max_iterations`). Returns the repaired table and a report.
+///
+/// For a variable CFD cluster, the target value is the one minimizing the
+/// total cost of changing the disagreeing cells (i.e. the cost-weighted
+/// majority). For a constant CFD, violating cells are set to the constant.
+/// Cells with infinite cost are never modified; a cluster whose resolution
+/// would require modifying only infinite-cost cells is left violating.
+pub fn repair(
+    table: &Table,
+    cfds: &[Cfd],
+    costs: &CostModel,
+    max_iterations: usize,
+) -> (Table, RepairReport) {
+    let mut t = table.clone();
+    let mut report = RepairReport::default();
+    for iter in 0..max_iterations {
+        report.iterations = iter + 1;
+        let mut changed = false;
+        for cfd in cfds {
+            for v in violations(&t, cfd) {
+                match &cfd.rhs_pattern {
+                    Pattern::Const(c) => {
+                        for &row in &v.rows {
+                            let cost = costs.cost(row, v.column);
+                            if cost.is_finite() {
+                                let old = t.get(row, v.column).unwrap().clone();
+                                t.set(row, v.column, c.clone()).unwrap();
+                                report.repairs.push(Repair {
+                                    row,
+                                    column: v.column,
+                                    old,
+                                    new: c.clone(),
+                                    cost,
+                                });
+                                report.total_cost += cost;
+                                changed = true;
+                            }
+                        }
+                    }
+                    Pattern::Any => {
+                        // Pick the consensus value minimizing repair cost.
+                        let mut best: Option<(Value, f64)> = None;
+                        for cand in &v.values {
+                            let mut cost = 0.0;
+                            let mut feasible = true;
+                            for &row in &v.rows {
+                                let cur = t.get(row, v.column).unwrap();
+                                if cur.is_null() || cur == cand {
+                                    continue;
+                                }
+                                let c = costs.cost(row, v.column);
+                                if c.is_infinite() {
+                                    feasible = false;
+                                    break;
+                                }
+                                cost += c;
+                            }
+                            if feasible && best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
+                                best = Some((cand.clone(), cost));
+                            }
+                        }
+                        if let Some((target, _)) = best {
+                            for &row in &v.rows {
+                                let cur = t.get(row, v.column).unwrap().clone();
+                                if cur.is_null() || cur == target {
+                                    continue;
+                                }
+                                let cost = costs.cost(row, v.column);
+                                t.set(row, v.column, target.clone()).unwrap();
+                                report.repairs.push(Repair {
+                                    row,
+                                    column: v.column,
+                                    old: cur,
+                                    new: target.clone(),
+                                    cost,
+                                });
+                                report.total_cost += cost;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    report.clean = cfds.iter().all(|c| violations(&t, c).is_empty());
+    (t, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+
+    fn addresses() -> Table {
+        Table::literal(
+            &["zip", "city"],
+            vec![
+                vec!["90210".into(), "LA".into()],
+                vec!["90210".into(), "LA".into()],
+                vec!["90210".into(), "SF".into()],
+                vec!["94103".into(), "SF".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn majority_repair_fixes_minority() {
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let (fixed, report) = repair(&addresses(), &[cfd.clone()], &CostModel::default(), 5);
+        assert!(report.clean);
+        assert_eq!(fixed.get_named(2, "city").unwrap().as_str(), Some("LA"));
+        assert_eq!(report.repairs.len(), 1);
+        assert_eq!(report.total_cost, 1.0);
+        assert!(violations(&fixed, &cfd).is_empty());
+    }
+
+    #[test]
+    fn cost_model_flips_consensus() {
+        // Make the two LA cells cheap to change and the SF cell pinned:
+        // consensus flips to SF.
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let mut costs = CostModel::uniform(1.0);
+        costs.set(2, 1, f64::INFINITY); // SF confirmed by user
+        let (fixed, report) = repair(&addresses(), &[cfd], &costs, 5);
+        assert!(report.clean);
+        assert_eq!(fixed.get_named(0, "city").unwrap().as_str(), Some("SF"));
+        assert_eq!(fixed.get_named(1, "city").unwrap().as_str(), Some("SF"));
+        assert_eq!(report.repairs.len(), 2);
+    }
+
+    #[test]
+    fn all_pinned_cluster_left_violating() {
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let mut costs = CostModel::uniform(f64::INFINITY);
+        costs.set(3, 1, 1.0); // only the non-conflicting row is modifiable
+        let (fixed, report) = repair(&addresses(), &[cfd.clone()], &costs, 5);
+        assert!(!report.clean);
+        assert_eq!(report.repairs.len(), 0);
+        assert_eq!(violations(&fixed, &cfd).len(), 1);
+    }
+
+    #[test]
+    fn constant_cfd_repair_sets_constant() {
+        let cfd = Cfd {
+            fd: Fd::new(vec![0], 1),
+            lhs_patterns: vec![Pattern::Const("94103".into())],
+            rhs_pattern: Pattern::Const("San Francisco".into()),
+        };
+        let (fixed, report) = repair(&addresses(), &[cfd], &CostModel::default(), 5);
+        assert!(report.clean);
+        assert_eq!(
+            fixed.get_named(3, "city").unwrap().as_str(),
+            Some("San Francisco")
+        );
+    }
+
+    #[test]
+    fn clean_table_untouched() {
+        let t = Table::literal(
+            &["zip", "city"],
+            vec![vec!["1".into(), "A".into()], vec!["2".into(), "B".into()]],
+        )
+        .unwrap();
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let (fixed, report) = repair(&t, &[cfd], &CostModel::default(), 5);
+        assert!(report.clean);
+        assert!(report.repairs.is_empty());
+        assert_eq!(fixed, t);
+    }
+
+    #[test]
+    fn interacting_rules_reach_fixpoint() {
+        // zip → city and city → state: repairing city can create state work.
+        let t = Table::literal(
+            &["zip", "city", "state"],
+            vec![
+                vec!["1".into(), "LA".into(), "CA".into()],
+                vec!["1".into(), "SD".into(), "CA".into()],
+                vec!["2".into(), "LA".into(), "NV".into()],
+            ],
+        )
+        .unwrap();
+        let rules = vec![
+            Cfd::plain(Fd::new(vec![0], 1)),
+            Cfd::plain(Fd::new(vec![1], 2)),
+        ];
+        let (fixed, report) = repair(&t, &rules, &CostModel::default(), 10);
+        assert!(report.clean, "repairs: {:?}", report.repairs);
+        // All zip=1 rows agree on city; all LA rows agree on state.
+        assert_eq!(
+            fixed.get_named(0, "city").unwrap(),
+            fixed.get_named(1, "city").unwrap()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for quality analyses: repair convergence, violation-rate
+//! bounds, outlier soundness.
+
+use proptest::prelude::*;
+use wrangler_quality::fd::{violation_rate, violations, Cfd, Fd};
+use wrangler_quality::outlier::numeric_outliers;
+use wrangler_quality::repair::{repair, CostModel};
+use wrangler_table::{Table, Value};
+
+fn arb_fd_table(rows: usize) -> impl Strategy<Value = Table> {
+    // Two columns drawn from tiny domains so FDs and violations both occur.
+    prop::collection::vec((0u8..4, 0u8..4), 1..=rows).prop_map(|rs| {
+        let rows = rs
+            .into_iter()
+            .map(|(a, b)| vec![Value::from(format!("k{a}")), Value::from(format!("v{b}"))])
+            .collect();
+        Table::literal(&["lhs", "rhs"], rows).expect("aligned")
+    })
+}
+
+proptest! {
+    #[test]
+    fn violation_rate_in_unit_interval(t in arb_fd_table(30)) {
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let r = violation_rate(&t, std::slice::from_ref(&cfd));
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Rate is zero iff there are no violations.
+        prop_assert_eq!(r == 0.0, violations(&t, &cfd).is_empty());
+    }
+
+    #[test]
+    fn repair_reaches_clean_fixpoint_on_single_fd(t in arb_fd_table(30)) {
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let (fixed, report) = repair(&t, std::slice::from_ref(&cfd), &CostModel::default(), 10);
+        prop_assert!(report.clean, "repairs: {:?}", report.repairs);
+        prop_assert!(violations(&fixed, &cfd).is_empty());
+        // Repair only ever touches the RHS column of the rule.
+        for rep in &report.repairs {
+            prop_assert_eq!(rep.column, 1);
+        }
+        // Shape is preserved.
+        prop_assert_eq!(fixed.num_rows(), t.num_rows());
+        prop_assert_eq!(fixed.schema().names(), t.schema().names());
+        // LHS column untouched.
+        prop_assert_eq!(fixed.column(0).unwrap(), t.column(0).unwrap());
+    }
+
+    #[test]
+    fn repair_cost_counts_changes(t in arb_fd_table(25)) {
+        let cfd = Cfd::plain(Fd::new(vec![0], 1));
+        let (fixed, report) = repair(&t, std::slice::from_ref(&cfd), &CostModel::uniform(2.0), 10);
+        let changed = (0..t.num_rows())
+            .filter(|&r| t.get(r, 1).unwrap() != fixed.get(r, 1).unwrap())
+            .count();
+        prop_assert!((report.total_cost - 2.0 * changed as f64).abs() < 1e-9);
+        prop_assert_eq!(report.repairs.len(), changed);
+    }
+
+    #[test]
+    fn outliers_reference_real_rows(xs in prop::collection::vec(-1e6f64..1e6, 0..60)) {
+        let values: Vec<Value> = xs.iter().map(|&x| Value::Float(x)).collect();
+        for o in numeric_outliers(&values, 3.5) {
+            prop_assert!(o.row < values.len());
+            prop_assert_eq!(&o.value, &values[o.row]);
+            prop_assert!(o.score > 3.5);
+        }
+    }
+
+    #[test]
+    fn no_outliers_in_constant_data(x in -100.0f64..100.0, n in 3usize..30) {
+        let values: Vec<Value> = vec![Value::Float(x); n];
+        prop_assert!(numeric_outliers(&values, 3.5).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Candidate generation: naive, key blocking, sorted neighbourhood.
+//!
+//! Naive all-pairs is O(n²) and dies at big-data scale (§4.3); blocking
+//! compares only records sharing a cheap key, sorted neighbourhood compares
+//! records within a sliding window of a sort order. Completeness vs cost is
+//! experiment E7's subject.
+
+use std::collections::HashMap;
+
+use wrangler_table::{Table, Value};
+
+/// All pairs (i, j), i < j. The quadratic baseline.
+pub fn candidates_naive(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Blocking key of a value: lowercased first token, first 4 characters.
+/// Nulls key to an empty block of their own (never compared).
+pub fn block_key(v: &Value) -> Option<String> {
+    if v.is_null() {
+        return None;
+    }
+    let r = v.render().to_lowercase();
+    let tok = r.split_whitespace().next()?;
+    Some(tok.chars().take(4).collect())
+}
+
+/// Key-based blocking on a column: pairs within the same block only.
+pub fn candidates_blocked(
+    table: &Table,
+    column: &str,
+) -> wrangler_table::Result<Vec<(usize, usize)>> {
+    let col = table.column_named(column)?;
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, v) in col.iter().enumerate() {
+        if let Some(k) = block_key(v) {
+            blocks.entry(k).or_default().push(i);
+        }
+    }
+    let mut keys: Vec<&String> = blocks.keys().collect();
+    keys.sort(); // deterministic pair order
+    let mut out = Vec::new();
+    for k in keys {
+        let rows = &blocks[k];
+        for a in 0..rows.len() {
+            for b in (a + 1)..rows.len() {
+                out.push((rows[a], rows[b]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Exact-value blocking: pairs sharing the column's full (lowercased,
+/// trimmed) rendering. The right choice for key-like columns, where prefix
+/// blocks would degenerate (all `SKU-…` keys share a prefix).
+pub fn candidates_blocked_exact(
+    table: &Table,
+    column: &str,
+) -> wrangler_table::Result<Vec<(usize, usize)>> {
+    let col = table.column_named(column)?;
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, v) in col.iter().enumerate() {
+        if !v.is_null() {
+            blocks
+                .entry(v.render().trim().to_lowercase())
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut keys: Vec<&String> = blocks.keys().collect();
+    keys.sort();
+    let mut out = Vec::new();
+    for k in keys {
+        let rows = &blocks[k];
+        for a in 0..rows.len() {
+            for b in (a + 1)..rows.len() {
+                out.push((rows[a], rows[b]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sorted neighbourhood: sort rows by the column's rendering, compare each
+/// row with the next `window − 1` rows in that order. Robust to key-prefix
+/// typos that break key blocking.
+pub fn candidates_sorted_neighborhood(
+    table: &Table,
+    column: &str,
+    window: usize,
+) -> wrangler_table::Result<Vec<(usize, usize)>> {
+    assert!(window >= 2, "window must cover at least a pair");
+    let col = table.column_named(column)?;
+    let mut order: Vec<usize> = (0..col.len()).collect();
+    order.sort_by(|&a, &b| {
+        col[a]
+            .render()
+            .to_lowercase()
+            .cmp(&col[b].render().to_lowercase())
+    });
+    let mut out = Vec::new();
+    for (pos, &i) in order.iter().enumerate() {
+        for &j in order.iter().skip(pos + 1).take(window - 1) {
+            out.push((i.min(j), i.max(j)));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(xs: &[&str]) -> Table {
+        Table::literal(
+            &["name"],
+            xs.iter().map(|x| vec![Value::from(*x)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_counts() {
+        assert_eq!(candidates_naive(0).len(), 0);
+        assert_eq!(candidates_naive(1).len(), 0);
+        assert_eq!(candidates_naive(5).len(), 10);
+    }
+
+    #[test]
+    fn blocking_prunes_cross_block_pairs() {
+        let t = names(&[
+            "Acme Widget",
+            "Acme Gadget",
+            "Bolt Thing",
+            "acme widget pro",
+        ]);
+        let pairs = candidates_blocked(&t, "name").unwrap();
+        // acme-block rows {0,1,3} → 3 pairs; bolt row alone.
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(0, 3)));
+        assert!(!pairs.iter().any(|&(i, j)| i == 2 || j == 2));
+    }
+
+    #[test]
+    fn nulls_never_compared() {
+        let t = Table::literal(
+            &["name"],
+            vec![vec![Value::Null], vec![Value::Null], vec!["x".into()]],
+        )
+        .unwrap();
+        assert!(candidates_blocked(&t, "name").unwrap().is_empty());
+    }
+
+    #[test]
+    fn blocked_is_subset_of_naive() {
+        let t = names(&["aa", "ab", "ba", "aa x"]);
+        let naive: std::collections::HashSet<_> = candidates_naive(4).into_iter().collect();
+        for p in candidates_blocked(&t, "name").unwrap() {
+            assert!(naive.contains(&p));
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_window() {
+        let t = names(&["delta", "alpha", "beta", "gamma"]);
+        let pairs = candidates_sorted_neighborhood(&t, "name", 2).unwrap();
+        // Sorted: alpha(1) beta(2) delta(0) gamma(3); adjacent pairs only.
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(0, 3)));
+        // Window 4 on 4 rows = all pairs.
+        let all = candidates_sorted_neighborhood(&t, "name", 4).unwrap();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn sorted_neighborhood_catches_prefix_typo_that_blocking_misses() {
+        // "acme widget" vs "acmd widget": different 4-prefix blocks.
+        let t = names(&["acme widget", "acmd widget"]);
+        assert!(candidates_blocked(&t, "name").unwrap().is_empty());
+        let sn = candidates_sorted_neighborhood(&t, "name", 2).unwrap();
+        assert_eq!(sn, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Union-find clustering of matched pairs into entities.
+
+/// Disjoint-set forest with union by rank and path compression.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Materialize all sets, ordered by their smallest member; members sorted.
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+/// Cluster `n` records given matched pairs.
+pub fn cluster_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for (i, j) in pairs {
+        uf.union(i, j);
+    }
+    uf.clusters()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitive_merging() {
+        // 0-1, 1-2 → {0,1,2}; 3 alone.
+        let clusters = cluster_pairs(4, [(0, 1), (1, 2)]);
+        assert_eq!(clusters, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn union_reports_novelty() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+    }
+
+    #[test]
+    fn empty_and_singletons() {
+        assert!(cluster_pairs(0, []).is_empty());
+        let c = cluster_pairs(3, []);
+        assert_eq!(c, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn clusters_deterministic_order() {
+        let clusters = cluster_pairs(6, [(4, 5), (0, 3)]);
+        assert_eq!(clusters, vec![vec![0, 3], vec![1], vec![2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn large_chain_compresses() {
+        let n = 10_000;
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let clusters = cluster_pairs(n, pairs);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), n);
+    }
+}

@@ -1,0 +1,137 @@
+//! `wrangler-resolve` — entity resolution (duplicate detection across
+//! sources).
+//!
+//! Integrated data contains the same real-world entity many times — the
+//! paper's Example 5 uses crowdsourcing "to identify duplicates, and thereby
+//! to refine the automatically generated rules that determine when two
+//! records represent the same real-world object \[20\]" (Corleone). The crate
+//! provides the full classical stack:
+//!
+//! * [`sim`] — weighted record similarity over typed field comparators;
+//! * [`blocking`] — key-based blocking and sorted-neighbourhood candidate
+//!   generation, versus the naive O(n²) baseline (the §4.3 scalability
+//!   experiment E7 measures the crossover);
+//! * [`cluster`] — union-find clustering of matched pairs into entities and
+//!   representative selection;
+//! * [`learn`] — threshold/weight learning from labeled pairs, the
+//!   hands-off rule refinement of \[20\]: crowd labels in, better rules out.
+
+pub mod blocking;
+pub mod cluster;
+pub mod learn;
+pub mod sim;
+
+pub use blocking::{
+    candidates_blocked, candidates_blocked_exact, candidates_naive, candidates_sorted_neighborhood,
+};
+pub use cluster::{cluster_pairs, UnionFind};
+pub use sim::{record_similarity, ErConfig, FieldSim, SimKind};
+
+use wrangler_table::Table;
+
+/// A scored candidate pair (row indices, `i < j`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// Lower row index.
+    pub i: usize,
+    /// Higher row index.
+    pub j: usize,
+    /// Record similarity in \[0, 1\].
+    pub score: f64,
+}
+
+/// Score candidate pairs and keep those at or above the config threshold.
+pub fn match_pairs(
+    table: &Table,
+    candidates: &[(usize, usize)],
+    cfg: &ErConfig,
+) -> wrangler_table::Result<Vec<ScoredPair>> {
+    let mut out = Vec::new();
+    for &(i, j) in candidates {
+        let score = record_similarity(table, i, j, cfg)?;
+        if score >= cfg.threshold {
+            out.push(ScoredPair {
+                i: i.min(j),
+                j: i.max(j),
+                score,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// End-to-end ER: block, match, cluster. Returns entity clusters of row
+/// indices (singletons included), in order of first row.
+pub fn resolve(
+    table: &Table,
+    blocking_column: &str,
+    cfg: &ErConfig,
+) -> wrangler_table::Result<Vec<Vec<usize>>> {
+    let candidates = candidates_blocked(table, blocking_column)?;
+    let pairs = match_pairs(table, &candidates, cfg)?;
+    Ok(cluster_pairs(
+        table.num_rows(),
+        pairs.iter().map(|p| (p.i, p.j)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::Value;
+
+    fn dupes() -> Table {
+        Table::literal(
+            &["name", "price"],
+            vec![
+                vec!["Acme Turbo Widget".into(), Value::Float(9.99)],
+                vec!["Acme Turbo Widgey".into(), Value::Float(10.05)], // typo dupe of 0
+                vec!["Bolt Mini Gadget".into(), Value::Float(45.0)],
+                vec!["Acme Turbo Widget".into(), Value::Float(9.99)], // exact dupe of 0
+                vec!["Stark Mega Flange".into(), Value::Float(120.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> ErConfig {
+        ErConfig {
+            fields: vec![
+                FieldSim {
+                    column: "name".into(),
+                    weight: 3.0,
+                    kind: SimKind::Text,
+                },
+                FieldSim {
+                    column: "price".into(),
+                    weight: 1.0,
+                    kind: SimKind::Numeric { scale: 0.2 },
+                },
+            ],
+            threshold: 0.85,
+        }
+    }
+
+    #[test]
+    fn end_to_end_resolution_groups_duplicates() {
+        let clusters = resolve(&dupes(), "name", &cfg()).unwrap();
+        assert_eq!(clusters.len(), 3);
+        let big = clusters
+            .iter()
+            .find(|c| c.len() == 3)
+            .expect("triple cluster");
+        let mut sorted = big.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn threshold_controls_strictness() {
+        let mut strict = cfg();
+        strict.threshold = 0.999;
+        let clusters = resolve(&dupes(), "name", &strict).unwrap();
+        // Only the exact duplicate pair survives.
+        assert_eq!(clusters.iter().filter(|c| c.len() > 1).count(), 1);
+        assert_eq!(clusters.len(), 4);
+    }
+}

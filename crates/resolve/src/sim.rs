@@ -1,0 +1,215 @@
+//! Record-level similarity from typed field comparators.
+
+use wrangler_match::strsim::{jaro_winkler, levenshtein_sim, token_jaccard};
+use wrangler_table::{Table, Value};
+
+/// How to compare one field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimKind {
+    /// Free text: max of Jaro–Winkler, token Jaccard and Levenshtein sims of
+    /// lowercased renderings.
+    Text,
+    /// Identifier: exact (case-insensitive) match or nothing.
+    Exact,
+    /// Numeric proximity: `1 − min(1, |a−b| / (scale·max(|a|,|b|,1)))`.
+    Numeric {
+        /// Relative difference treated as "completely different".
+        scale: f64,
+    },
+}
+
+/// One field's contribution to record similarity.
+#[derive(Debug, Clone)]
+pub struct FieldSim {
+    /// Column name.
+    pub column: String,
+    /// Relative weight (≥ 0).
+    pub weight: f64,
+    /// Comparator.
+    pub kind: SimKind,
+}
+
+/// Entity-resolution configuration: weighted field comparators + decision
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct ErConfig {
+    /// Field comparators.
+    pub fields: Vec<FieldSim>,
+    /// Pairs scoring at or above this are matches.
+    pub threshold: f64,
+}
+
+impl ErConfig {
+    /// Uniform text comparison over the given columns at the given threshold.
+    pub fn text_over(columns: &[&str], threshold: f64) -> ErConfig {
+        ErConfig {
+            fields: columns
+                .iter()
+                .map(|c| FieldSim {
+                    column: c.to_string(),
+                    weight: 1.0,
+                    kind: SimKind::Text,
+                })
+                .collect(),
+            threshold,
+        }
+    }
+}
+
+/// Similarity of one value pair under a comparator. Null pairs are neutral
+/// (contribute nothing); a null/non-null pair scores a mild 0.5 penalty... no:
+/// missingness is not evidence of difference, so it is skipped entirely.
+fn value_similarity(a: &Value, b: &Value, kind: SimKind) -> Option<f64> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    Some(match kind {
+        SimKind::Exact => {
+            if a.render().eq_ignore_ascii_case(&b.render()) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        SimKind::Text => {
+            let sa = a.render().to_lowercase();
+            let sb = b.render().to_lowercase();
+            if sa == sb {
+                1.0
+            } else {
+                jaro_winkler(&sa, &sb)
+                    .max(token_jaccard(&sa, &sb))
+                    .max(levenshtein_sim(&sa, &sb))
+            }
+        }
+        SimKind::Numeric { scale } => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let denom = scale.max(1e-9) * x.abs().max(y.abs()).max(1.0);
+                1.0 - ((x - y).abs() / denom).min(1.0)
+            }
+            _ => 0.0, // numeric comparator on non-numeric data: different
+        },
+    })
+}
+
+/// Weighted record similarity; fields where either value is null are skipped
+/// (their weight excluded from the denominator). Two records sharing no
+/// comparable fields score 0.
+pub fn record_similarity(
+    table: &Table,
+    i: usize,
+    j: usize,
+    cfg: &ErConfig,
+) -> wrangler_table::Result<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for f in &cfg.fields {
+        let col = table.schema().index_of(&f.column)?;
+        let a = table.get(i, col)?;
+        let b = table.get(j, col)?;
+        if let Some(s) = value_similarity(a, b, f.kind) {
+            num += f.weight * s;
+            den += f.weight;
+        }
+    }
+    Ok(if den == 0.0 { 0.0 } else { num / den })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::literal(
+            &["name", "price", "sku"],
+            vec![
+                vec!["Acme Widget".into(), Value::Float(10.0), "a1".into()],
+                vec!["Acme Widgget".into(), Value::Float(10.5), "A1".into()],
+                vec!["Bolt Gadget".into(), Value::Float(99.0), "b7".into()],
+                vec!["Acme Widget".into(), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> ErConfig {
+        ErConfig {
+            fields: vec![
+                FieldSim {
+                    column: "name".into(),
+                    weight: 2.0,
+                    kind: SimKind::Text,
+                },
+                FieldSim {
+                    column: "price".into(),
+                    weight: 1.0,
+                    kind: SimKind::Numeric { scale: 0.25 },
+                },
+                FieldSim {
+                    column: "sku".into(),
+                    weight: 1.0,
+                    kind: SimKind::Exact,
+                },
+            ],
+            threshold: 0.8,
+        }
+    }
+
+    #[test]
+    fn near_duplicates_score_high() {
+        let s = record_similarity(&t(), 0, 1, &cfg()).unwrap();
+        assert!(s > 0.85, "{s}");
+        let d = record_similarity(&t(), 0, 2, &cfg()).unwrap();
+        assert!(d < 0.5, "{d}");
+    }
+
+    #[test]
+    fn nulls_are_skipped_not_penalized() {
+        // Rows 0 and 3 agree perfectly on name; price/sku null on row 3.
+        let s = record_similarity(&t(), 0, 3, &cfg()).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_comparator_is_case_insensitive_binary() {
+        assert_eq!(
+            value_similarity(&"a1".into(), &"A1".into(), SimKind::Exact),
+            Some(1.0)
+        );
+        assert_eq!(
+            value_similarity(&"a1".into(), &"a2".into(), SimKind::Exact),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn numeric_proximity_scales() {
+        let k = SimKind::Numeric { scale: 0.2 };
+        assert_eq!(
+            value_similarity(&Value::Float(100.0), &Value::Float(100.0), k),
+            Some(1.0)
+        );
+        let near = value_similarity(&Value::Float(100.0), &Value::Float(105.0), k).unwrap();
+        assert!(near > 0.7);
+        let far = value_similarity(&Value::Float(100.0), &Value::Float(200.0), k).unwrap();
+        assert_eq!(far, 0.0);
+        // Numeric comparator on strings: different.
+        assert_eq!(
+            value_similarity(&"x".into(), &Value::Float(1.0), k),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn records_with_no_comparable_fields_score_zero() {
+        let t2 = Table::literal(&["name"], vec![vec![Value::Null], vec![Value::Null]]).unwrap();
+        let cfg = ErConfig::text_over(&["name"], 0.5);
+        assert_eq!(record_similarity(&t2, 0, 1, &cfg).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let cfg = ErConfig::text_over(&["ghost"], 0.5);
+        assert!(record_similarity(&t(), 0, 1, &cfg).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for entity resolution: union-find laws, blocking
+//! soundness, similarity bounds.
+
+use proptest::prelude::*;
+use wrangler_resolve::{
+    candidates_blocked, candidates_naive, cluster_pairs, record_similarity, ErConfig, FieldSim,
+    SimKind, UnionFind,
+};
+use wrangler_table::{Table, Value};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-d]{1,6}( [a-d]{1,6}){0,2}"
+}
+
+fn arb_table(rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec((arb_name(), prop::option::of(-100i64..100)), 1..=rows).prop_map(|rs| {
+        let rows = rs
+            .into_iter()
+            .map(|(n, v)| vec![Value::from(n), v.map(Value::Int).unwrap_or(Value::Null)])
+            .collect();
+        Table::literal(&["name", "x"], rows).expect("aligned")
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_find_partitions(n in 1usize..60, pairs in prop::collection::vec((0usize..60, 0usize..60), 0..80)) {
+        let pairs: Vec<(usize, usize)> =
+            pairs.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+        let clusters = cluster_pairs(n, pairs.iter().copied());
+        // Every element appears exactly once.
+        let mut seen = vec![false; n];
+        for c in &clusters {
+            for &x in c {
+                prop_assert!(!seen[x], "element {x} in two clusters");
+                seen[x] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        // All unioned pairs are co-clustered.
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+        }
+        for &(a, b) in &pairs {
+            prop_assert!(uf.same(a, b));
+        }
+    }
+
+    #[test]
+    fn same_is_equivalence_relation(n in 1usize..30, pairs in prop::collection::vec((0usize..30, 0usize..30), 0..40)) {
+        let pairs: Vec<(usize, usize)> =
+            pairs.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+        }
+        for x in 0..n {
+            prop_assert!(uf.same(x, x)); // reflexive
+        }
+        for &(a, b) in &pairs {
+            prop_assert_eq!(uf.same(a, b), uf.same(b, a)); // symmetric
+        }
+    }
+
+    #[test]
+    fn blocked_candidates_are_subset_of_naive(t in arb_table(25)) {
+        let naive: std::collections::HashSet<(usize, usize)> =
+            candidates_naive(t.num_rows()).into_iter().collect();
+        for p in candidates_blocked(&t, "name").unwrap() {
+            prop_assert!(naive.contains(&p), "{p:?} not a valid pair");
+        }
+    }
+
+    #[test]
+    fn record_similarity_is_symmetric_and_bounded(t in arb_table(12)) {
+        let cfg = ErConfig {
+            fields: vec![
+                FieldSim { column: "name".into(), weight: 2.0, kind: SimKind::Text },
+                FieldSim { column: "x".into(), weight: 1.0, kind: SimKind::Numeric { scale: 0.5 } },
+            ],
+            threshold: 0.8,
+        };
+        let n = t.num_rows();
+        for i in 0..n.min(6) {
+            for j in 0..n.min(6) {
+                let s_ij = record_similarity(&t, i, j, &cfg).unwrap();
+                let s_ji = record_similarity(&t, j, i, &cfg).unwrap();
+                prop_assert!((s_ij - s_ji).abs() < 1e-12);
+                prop_assert!((0.0..=1.0).contains(&s_ij));
+                if i == j {
+                    // Self-similarity is 1 when any field is comparable.
+                    let name_null = t.get(i, 0).unwrap().is_null();
+                    let x_null = t.get(i, 1).unwrap().is_null();
+                    if !(name_null && x_null) {
+                        prop_assert!((s_ij - 1.0).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_rows_always_cluster(name in arb_name(), copies in 2usize..6) {
+        let rows: Vec<Vec<Value>> =
+            (0..copies).map(|_| vec![Value::from(name.clone()), Value::Int(1)]).collect();
+        let t = Table::literal(&["name", "x"], rows).unwrap();
+        let cfg = ErConfig::text_over(&["name"], 0.95);
+        let clusters = wrangler_resolve::resolve(&t, "name", &cfg).unwrap();
+        prop_assert_eq!(clusters.len(), 1);
+    }
+}

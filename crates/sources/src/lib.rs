@@ -1,0 +1,32 @@
+//! `wrangler-sources` — source registry, synthetic source fleets, and
+//! multi-criteria source selection.
+//!
+//! The paper's running example (Example 1) is price intelligence over
+//! "thousands of sites" exhibiting all four V's. We cannot crawl the deep
+//! web in a test harness, so this crate provides the controlled substitute
+//! documented in DESIGN.md: a **synthetic source fleet** with a known ground
+//! truth and per-source knobs for every V —
+//!
+//! * *Volume*: any number of sources over a shared product world;
+//! * *Velocity*: per-tick price drift and per-source staleness lags;
+//! * *Variety*: per-source schema variants (synonym renames, dropped and
+//!   cryptic columns, unit quirks);
+//! * *Veracity*: per-source error and null rates.
+//!
+//! Because the ground truth is known, every downstream experiment can score
+//! accuracy exactly. The crate also implements source *selection*:
+//! the context-aware greedy selection the user context steers, and the
+//! marginal-gain ("less is more", Dong et al. \[16\]) strategy that stops
+//! integrating sources when the marginal quality gain no longer pays for the
+//! marginal cost.
+
+pub mod locations;
+pub mod probe;
+pub mod registry;
+pub mod selection;
+pub mod synthetic;
+
+pub use probe::{probe_source, ProbeConfig, ProbeResult};
+pub use registry::{Source, SourceId, SourceMeta, SourceRegistry};
+pub use selection::{select_greedy_utility, select_marginal_gain, SourceEstimate};
+pub use synthetic::{FleetConfig, GroundTruth, SyntheticFleet};

@@ -1,0 +1,208 @@
+//! Bounded source probing — scale-independent estimation (§4.3).
+//!
+//! "Among these challenges are understanding the requirement for query
+//! scalability \[2\] that can be provided in terms of access and indexing
+//! information \[17\]": decisions about a source must not require scanning the
+//! whole source. Selection needs only *estimates* of coverage, relevance and
+//! messiness, and those estimates converge on a bounded sample. This module
+//! provides deterministic sampling and sampled counterparts of the profiling
+//! signals the wrangler's source selection consumes.
+
+use wrangler_context::DataContext;
+use wrangler_table::stats::column_stats;
+use wrangler_table::Table;
+use wrangler_uncertainty::worlds::XorShift64;
+
+/// Probing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeConfig {
+    /// Maximum rows to inspect per source.
+    pub sample_rows: usize,
+    /// Sampling seed (probing is deterministic).
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            sample_rows: 128,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Deterministic uniform row sample of up to `cfg.sample_rows` rows
+/// (Fisher–Yates prefix over row indices). Returns the table itself when it
+/// is already within the budget.
+pub fn sample_rows(table: &Table, cfg: &ProbeConfig) -> wrangler_table::Result<Table> {
+    let n = table.num_rows();
+    if n <= cfg.sample_rows {
+        return Ok(table.clone());
+    }
+    let mut rng = XorShift64::new(cfg.seed ^ n as u64);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for slot in 0..cfg.sample_rows {
+        let pick = slot + rng.next_below(n - slot);
+        idx.swap(slot, pick);
+    }
+    idx.truncate(cfg.sample_rows);
+    idx.sort_unstable(); // preserve original order within the sample
+    table.take(&idx)
+}
+
+/// What a bounded probe learns about a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// Rows inspected.
+    pub sampled_rows: usize,
+    /// Total rows the source reports (metadata access, not a scan).
+    pub total_rows: usize,
+    /// Estimated fraction of sampled key values found in the master data
+    /// (`None` if no master data / no overlapping column).
+    pub relevance: Option<f64>,
+    /// Estimated null rate over the sampled cells.
+    pub null_rate: f64,
+    /// Estimated fraction of sampled cells whose dtype matches the column
+    /// majority (syntactic cleanliness).
+    pub type_consistency: f64,
+}
+
+/// Probe a source with a bounded sample.
+pub fn probe_source(
+    table: &Table,
+    ctx: &DataContext,
+    master_kind: &str,
+    cfg: &ProbeConfig,
+) -> wrangler_table::Result<ProbeResult> {
+    let sample = sample_rows(table, cfg)?;
+    // Relevance: best master coverage over the sampled columns.
+    let mut relevance: Option<f64> = None;
+    for i in 0..sample.num_columns() {
+        let col = sample.column(i)?;
+        if let Some(cov) = ctx.master_coverage(master_kind, col) {
+            relevance = Some(relevance.map_or(cov, |b: f64| b.max(cov)));
+        }
+    }
+    // Null rate + type consistency over the sample.
+    let mut cells = 0usize;
+    let mut nulls = 0usize;
+    let mut consistent = 0.0;
+    for i in 0..sample.num_columns() {
+        let col = sample.column(i)?;
+        let stats = column_stats(col);
+        cells += stats.count;
+        nulls += stats.null_count;
+        // Majority dtype share among non-nulls.
+        let mut counts: Vec<(wrangler_table::DataType, usize)> = Vec::new();
+        for v in col.iter().filter(|v| !v.is_null()) {
+            let dt = v.dtype();
+            match counts.iter_mut().find(|(d, _)| *d == dt) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((dt, 1)),
+            }
+        }
+        let non_null = stats.count - stats.null_count;
+        let major = counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
+        consistent += if non_null == 0 {
+            1.0
+        } else {
+            major as f64 / non_null as f64
+        };
+    }
+    Ok(ProbeResult {
+        sampled_rows: sample.num_rows(),
+        total_rows: table.num_rows(),
+        relevance,
+        null_rate: if cells == 0 {
+            0.0
+        } else {
+            nulls as f64 / cells as f64
+        },
+        type_consistency: if sample.num_columns() == 0 {
+            1.0
+        } else {
+            consistent / sample.num_columns() as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_context::DataContext;
+    use wrangler_table::Value;
+
+    fn big_table(n: usize) -> Table {
+        let rows = (0..n)
+            .map(|i| {
+                vec![
+                    Value::from(format!("K{:05}", i % 500)),
+                    if i % 10 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64)
+                    },
+                ]
+            })
+            .collect();
+        Table::literal(&["sku", "price"], rows).expect("aligned")
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let t = big_table(5_000);
+        let cfg = ProbeConfig {
+            sample_rows: 100,
+            seed: 7,
+        };
+        let a = sample_rows(&t, &cfg).unwrap();
+        let b = sample_rows(&t, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 100);
+        // Small tables come back whole.
+        let small = big_table(50);
+        assert_eq!(sample_rows(&small, &cfg).unwrap().num_rows(), 50);
+    }
+
+    #[test]
+    fn sampled_estimates_converge_to_exact() {
+        let t = big_table(10_000);
+        let mut ctx = DataContext::new();
+        // Master covers half the key space.
+        let master_rows = (0..250)
+            .map(|i| vec![Value::from(format!("K{i:05}"))])
+            .collect();
+        let master = Table::literal(&["sku"], master_rows).unwrap();
+        ctx.add_master("product", master, "sku").unwrap();
+
+        let probe = probe_source(
+            &t,
+            &ctx,
+            "product",
+            &ProbeConfig {
+                sample_rows: 256,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(probe.sampled_rows, 256);
+        assert_eq!(probe.total_rows, 10_000);
+        // True relevance 0.5, true null rate 0.05 (price col only → over all
+        // cells 0.05); sampled within sampling error.
+        assert!(
+            (probe.relevance.unwrap() - 0.5).abs() < 0.1,
+            "{:?}",
+            probe.relevance
+        );
+        assert!((probe.null_rate - 0.05).abs() < 0.03, "{}", probe.null_rate);
+        assert!(probe.type_consistency > 0.95);
+    }
+
+    #[test]
+    fn no_master_data_means_no_relevance() {
+        let t = big_table(100);
+        let ctx = DataContext::new();
+        let probe = probe_source(&t, &ctx, "product", &ProbeConfig::default()).unwrap();
+        assert_eq!(probe.relevance, None);
+    }
+}

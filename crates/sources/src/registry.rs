@@ -1,0 +1,149 @@
+//! Source identity, metadata and the registry.
+
+use std::fmt;
+
+use wrangler_table::Table;
+
+/// Stable identifier of a data source within a wrangling session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// Metadata the wrangler knows about a source before/besides its data.
+#[derive(Debug, Clone)]
+pub struct SourceMeta {
+    /// Identifier.
+    pub id: SourceId,
+    /// Human-readable name (site/file name).
+    pub name: String,
+    /// Cost of one access in abstract budget units.
+    pub access_cost: f64,
+    /// Tick at which the source's content was last refreshed.
+    pub last_updated: u64,
+}
+
+impl SourceMeta {
+    /// Minimal metadata.
+    pub fn new(id: SourceId, name: impl Into<String>) -> SourceMeta {
+        SourceMeta {
+            id,
+            name: name.into(),
+            access_cost: 1.0,
+            last_updated: 0,
+        }
+    }
+}
+
+/// A source: metadata plus its (extracted) table.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Metadata.
+    pub meta: SourceMeta,
+    /// The source's data as delivered by extraction.
+    pub table: Table,
+}
+
+/// The set of sources available to a wrangling session.
+#[derive(Debug, Clone, Default)]
+pub struct SourceRegistry {
+    sources: Vec<Source>,
+}
+
+impl SourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        SourceRegistry::default()
+    }
+
+    /// Register a source, assigning the next id. Returns the id.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(Source {
+            meta: SourceMeta::new(id, name),
+            table,
+        });
+        id
+    }
+
+    /// Register with full metadata (id field is overwritten to keep ids dense).
+    pub fn register_with_meta(&mut self, mut meta: SourceMeta, table: Table) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        meta.id = id;
+        self.sources.push(Source { meta, table });
+        id
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Source by id.
+    pub fn get(&self, id: SourceId) -> Option<&Source> {
+        self.sources.get(id.0 as usize)
+    }
+
+    /// Mutable source by id.
+    pub fn get_mut(&mut self, id: SourceId) -> Option<&mut Source> {
+        self.sources.get_mut(id.0 as usize)
+    }
+
+    /// Iterate all sources in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Source> {
+        self.sources.iter()
+    }
+
+    /// All ids in order.
+    pub fn ids(&self) -> Vec<SourceId> {
+        self.sources.iter().map(|s| s.meta.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::Schema;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = SourceRegistry::new();
+        let a = reg.register("siteA", Table::empty(Schema::of_strs(&["x"])));
+        let b = reg.register("siteB", Table::empty(Schema::of_strs(&["y"])));
+        assert_eq!(a, SourceId(0));
+        assert_eq!(b, SourceId(1));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(a).unwrap().meta.name, "siteA");
+        assert!(reg.get(SourceId(9)).is_none());
+        assert_eq!(reg.ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn register_with_meta_keeps_ids_dense() {
+        let mut reg = SourceRegistry::new();
+        let meta = SourceMeta {
+            id: SourceId(99),
+            name: "x".into(),
+            access_cost: 2.0,
+            last_updated: 7,
+        };
+        let id = reg.register_with_meta(meta, Table::empty(Schema::of_strs(&["x"])));
+        assert_eq!(id, SourceId(0));
+        assert_eq!(reg.get(id).unwrap().meta.access_cost, 2.0);
+        assert_eq!(reg.get(id).unwrap().meta.last_updated, 7);
+    }
+
+    #[test]
+    fn display_of_source_id() {
+        assert_eq!(SourceId(3).to_string(), "src3");
+    }
+}

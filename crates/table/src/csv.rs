@@ -1,0 +1,358 @@
+//! CSV codec with RFC-4180-style quoting and type inference.
+//!
+//! This is the wrapper for file-shaped sources: [`read_csv`] parses a header
+//! row and data rows from a string, infers column types, and produces a typed
+//! [`Table`]; [`write_csv`] serializes a table back. Round-tripping a table
+//! through the codec preserves its values (property-tested below).
+
+use crate::infer::{infer_column, parse_column};
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::{Result, TableError};
+
+/// Options for the CSV reader.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header (default true). Without a header,
+    /// columns are named `c0`, `c1`, ...
+    pub has_header: bool,
+    /// Whether to run type inference (default true); otherwise all columns
+    /// are `Str` and cells are kept verbatim (null markers still map to Null).
+    pub infer_types: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            infer_types: true,
+        }
+    }
+}
+
+/// Parse CSV text into a table with default options.
+pub fn read_csv(text: &str) -> Result<Table> {
+    read_csv_opts(text, CsvOptions::default())
+}
+
+/// Parse CSV text into a table.
+pub fn read_csv_opts(text: &str, opts: CsvOptions) -> Result<Table> {
+    let records = parse_records(text, opts.delimiter)?;
+    let mut iter = records.into_iter();
+    let (names, width) = if opts.has_header {
+        // Skip leading blank lines before the header.
+        match iter.by_ref().find(|r| !is_blank(r)) {
+            Some(h) => {
+                let w = h.len();
+                (h, w)
+            }
+            None => return Ok(Table::empty(Schema::empty())),
+        }
+    } else {
+        // Peek width from the first non-blank record.
+        let all: Vec<Vec<String>> = iter.collect();
+        let w = all.iter().find(|r| !is_blank(r)).map_or(0, |r| r.len());
+        // A blank line is a record separator except in width-1 tables, where
+        // it is a legitimate null row.
+        let rows: Vec<Vec<String>> = all.into_iter().filter(|r| w == 1 || !is_blank(r)).collect();
+        let names: Vec<String> = (0..w).map(|i| format!("c{i}")).collect();
+        return build_table(names, rows, opts);
+    };
+    let rows: Vec<Vec<String>> = iter.filter(|r| width == 1 || !is_blank(r)).collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != width {
+            return Err(TableError::Csv {
+                line: i + 2,
+                message: format!("expected {width} fields, found {}", r.len()),
+            });
+        }
+    }
+    build_table(names, rows, opts)
+}
+
+/// A record that came from a blank line: one empty, unquoted field.
+fn is_blank(r: &[String]) -> bool {
+    r.len() == 1 && r[0].is_empty()
+}
+
+fn build_table(names: Vec<String>, rows: Vec<Vec<String>>, opts: CsvOptions) -> Result<Table> {
+    let width = names.len();
+    let mut raw_cols: Vec<Vec<String>> = vec![Vec::with_capacity(rows.len()); width];
+    for r in rows {
+        if r.len() != width {
+            return Err(TableError::Csv {
+                line: 0,
+                message: format!("ragged record: expected {width}, found {}", r.len()),
+            });
+        }
+        for (c, cell) in r.into_iter().enumerate() {
+            raw_cols[c].push(cell);
+        }
+    }
+    let mut fields = Vec::with_capacity(width);
+    let mut columns = Vec::with_capacity(width);
+    for (name, raw) in names.into_iter().zip(raw_cols) {
+        let dtype = if opts.infer_types {
+            infer_column(&raw)
+        } else {
+            DataType::Str
+        };
+        let values = if opts.infer_types {
+            parse_column(&raw, dtype)
+        } else {
+            raw.into_iter()
+                .map(|s| {
+                    if s.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Str(s)
+                    }
+                })
+                .collect()
+        };
+        let nullable = values.iter().any(Value::is_null);
+        fields.push(Field {
+            name,
+            dtype,
+            nullable,
+        });
+        columns.push(values);
+    }
+    Table::from_columns(Schema::new(fields)?, columns)
+}
+
+/// Split CSV text into records of unquoted field strings.
+fn parse_records(text: &str, delim: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut after_quoted = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        after_quoted = true;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !after_quoted => in_quotes = true,
+            '"' => {
+                return Err(TableError::Csv {
+                    line,
+                    message: "stray quote in field".into(),
+                });
+            }
+            '\r' => { /* tolerate CRLF */ }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                after_quoted = false;
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            c if c == delim => {
+                record.push(std::mem::take(&mut field));
+                after_quoted = false;
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Serialize a table to CSV (always with a header row). `Null` renders as the
+/// empty field; fields containing the delimiter, quotes or newlines are quoted.
+pub fn write_csv(table: &Table) -> String {
+    write_csv_delim(table, ',')
+}
+
+/// Serialize with an explicit delimiter.
+pub fn write_csv_delim(table: &Table, delim: char) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(delim);
+        }
+        out.push_str(&escape(n, delim));
+    }
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        for c in 0..table.num_columns() {
+            if c > 0 {
+                out.push(delim);
+            }
+            let v = table.get(r, c).expect("in bounds");
+            if !v.is_null() {
+                out.push_str(&escape(&v.render(), delim));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str, delim: char) -> String {
+    if s.contains(delim) || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse_with_inference() {
+        let t = read_csv("sku,price,stock\na1,9.99,5\nb2,,12\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field(1).unwrap().dtype, DataType::Float);
+        assert_eq!(t.schema().field(2).unwrap().dtype, DataType::Int);
+        assert!(t.get_named(1, "price").unwrap().is_null());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let t = read_csv("name,desc\nwidget,\"small, round\"\ngadget,\"line1\nline2\"\n").unwrap();
+        assert_eq!(
+            t.get_named(0, "desc").unwrap().as_str(),
+            Some("small, round")
+        );
+        assert_eq!(
+            t.get_named(1, "desc").unwrap().as_str(),
+            Some("line1\nline2")
+        );
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = read_csv("a\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.get_named(0, "a").unwrap().as_str(), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline_tolerated() {
+        let t = read_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get(0, 1).unwrap(), &Value::Int(2));
+        let t2 = read_csv("a,b\n1,2").unwrap(); // no trailing newline
+        assert_eq!(t2.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_row_is_error_with_line_number() {
+        let err = read_csv("a,b\n1\n").unwrap_err();
+        match err {
+            TableError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(read_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let t = read_csv_opts(
+            "1,2\n3,4\n",
+            CsvOptions {
+                has_header: false,
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.schema().names(), vec!["c0", "c1"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn no_inference_keeps_strings() {
+        let t = read_csv_opts(
+            "a\n42\n",
+            CsvOptions {
+                infer_types: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.get(0, 0).unwrap(), &Value::Str("42".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = read_csv("").unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = Table::literal(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), "x,y".into()],
+                vec![Value::Null, "he said \"hi\"".into()],
+                vec![Value::Float(2.5), "line\nbreak".into()],
+            ],
+        )
+        .unwrap();
+        let text = write_csv(&t);
+        let back = read_csv(&text).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.get(0, 0).unwrap(), &Value::Int(1));
+        assert!(back.get(1, 0).unwrap().is_null());
+        assert_eq!(back.get(1, 1).unwrap().as_str(), Some("he said \"hi\""));
+        assert_eq!(back.get(2, 1).unwrap().as_str(), Some("line\nbreak"));
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let t = read_csv_opts(
+            "a;b\n1;x\n",
+            CsvOptions {
+                delimiter: ';',
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.get(0, 1).unwrap().as_str(), Some("x"));
+        let text = write_csv_delim(&t, ';');
+        assert!(text.starts_with("a;b\n"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by all table operations.
+
+use std::fmt;
+
+/// Errors raised by table construction, expression evaluation and the
+/// relational operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A referenced column name does not exist in the schema.
+    UnknownColumn(String),
+    /// A column index is out of bounds.
+    ColumnIndexOutOfBounds { index: usize, width: usize },
+    /// A row has a different arity than the schema.
+    ArityMismatch { expected: usize, actual: usize },
+    /// Two schemas that must be union-compatible are not.
+    SchemaMismatch(String),
+    /// A value could not be coerced to the requested type.
+    TypeError(String),
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// A duplicate column name was supplied where names must be unique.
+    DuplicateColumn(String),
+    /// Any other invariant violation, with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::ColumnIndexOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for width {width}")
+            }
+            TableError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
+            }
+            TableError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            TableError::TypeError(msg) => write!(f, "type error: {msg}"),
+            TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            TableError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TableError::UnknownColumn("price".into());
+        assert!(e.to_string().contains("price"));
+        let e = TableError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = TableError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `wrangler-table` — the tabular data substrate for the vada-wrangler system.
+//!
+//! Every component of the wrangling architecture (extraction, integration,
+//! cleaning, fusion) consumes and produces [`Table`]s: schema-typed, columnar
+//! collections of [`Value`]s. The crate provides:
+//!
+//! * a dynamically typed [`Value`] model with a total order and canonical
+//!   hashing, so values can be compared, grouped and deduplicated across
+//!   heterogeneous sources;
+//! * [`Schema`] / [`Field`] metadata with type unification, used by schema
+//!   matching and mapping;
+//! * [`Table`], a columnar table with relational operators (filter, project,
+//!   join, union, sort, group-by) in [`ops`];
+//! * a small expression language ([`expr`]) compiled against a schema;
+//! * a CSV codec ([`csv`]) with type inference ([`infer`]), the entry format
+//!   for file-based sources;
+//! * per-column statistics ([`stats`]) consumed by quality profiling.
+//!
+//! The design goal is a dependency-free, deterministic core: no I/O beyond
+//! strings, no randomness, so all downstream experiments are reproducible.
+
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod infer;
+pub mod ops;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use error::TableError;
+pub use expr::Expr;
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TableError>;

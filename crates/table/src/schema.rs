@@ -1,0 +1,284 @@
+//! Schemas: named, typed fields with unification.
+//!
+//! Schemas are the currency of schema matching (the `wrangler-match` crate) and
+//! mapping generation: matching compares [`Field`]s across source schemas,
+//! mapping produces transformations from one [`Schema`] to another.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Result, TableError};
+
+/// The type of a column (or cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Unknown / all-null column.
+    Null,
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl DataType {
+    /// Least upper bound of two types in the coercion lattice:
+    /// `Null` is bottom, `Int ⊔ Float = Float`, anything else mixed is `Str`.
+    pub fn unify(self, other: DataType) -> DataType {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, t) | (t, Null) => t,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Str,
+        }
+    }
+
+    /// True if this is `Int` or `Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Null => "null",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name as exposed by the source.
+    pub name: String,
+    /// Declared or inferred type.
+    pub dtype: DataType,
+    /// Whether nulls are permitted (informational; not enforced on insert).
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Nullable field of the given name and type.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    /// Non-nullable variant.
+    pub fn required(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered list of uniquely named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema; fails on duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(TableError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Convenience: all-`Str`, nullable columns with the given names.
+    pub fn of_strs(names: &[&str]) -> Self {
+        Schema::new(
+            names
+                .iter()
+                .map(|n| Field::new(*n, DataType::Str))
+                .collect(),
+        )
+        .expect("caller guarantees unique names")
+    }
+
+    /// Empty schema.
+    pub fn empty() -> Self {
+        Schema {
+            fields: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> Result<&Field> {
+        self.fields
+            .get(i)
+            .ok_or(TableError::ColumnIndexOutOfBounds {
+                index: i,
+                width: self.fields.len(),
+            })
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// True if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Sub-schema with the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Rename column `old` to `new`.
+    pub fn rename(&self, old: &str, new: &str) -> Result<Schema> {
+        let idx = self.index_of(old)?;
+        let mut fields = self.fields.clone();
+        fields[idx].name = new.to_string();
+        Schema::new(fields)
+    }
+
+    /// Check union-compatibility with `other`: same arity, same names, and
+    /// return the unified schema (types widened pointwise).
+    pub fn union_compatible(&self, other: &Schema) -> Result<Schema> {
+        if self.len() != other.len() {
+            return Err(TableError::SchemaMismatch(format!(
+                "arity {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        let mut fields = Vec::with_capacity(self.len());
+        for (a, b) in self.fields.iter().zip(other.fields.iter()) {
+            if a.name != b.name {
+                return Err(TableError::SchemaMismatch(format!(
+                    "column `{}` vs `{}`",
+                    a.name, b.name
+                )));
+            }
+            fields.push(Field {
+                name: a.name.clone(),
+                dtype: a.dtype.unify(b.dtype),
+                nullable: a.nullable || b.nullable,
+            });
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_lattice() {
+        use DataType::*;
+        assert_eq!(Null.unify(Int), Int);
+        assert_eq!(Int.unify(Float), Float);
+        assert_eq!(Int.unify(Str), Str);
+        assert_eq!(Bool.unify(Bool), Bool);
+        assert_eq!(Bool.unify(Int), Str);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn index_and_project() {
+        let s = Schema::of_strs(&["a", "b", "c"]);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("z").is_err());
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn rename_preserves_order() {
+        let s = Schema::of_strs(&["a", "b"]).rename("a", "x").unwrap();
+        assert_eq!(s.names(), vec!["x", "b"]);
+        assert!(Schema::of_strs(&["a", "b"]).rename("a", "b").is_err());
+    }
+
+    #[test]
+    fn union_compat_widens() {
+        let a = Schema::new(vec![Field::new("p", DataType::Int)]).unwrap();
+        let b = Schema::new(vec![Field::new("p", DataType::Float)]).unwrap();
+        let u = a.union_compatible(&b).unwrap();
+        assert_eq!(u.field(0).unwrap().dtype, DataType::Float);
+        let c = Schema::new(vec![Field::new("q", DataType::Int)]).unwrap();
+        assert!(a.union_compatible(&c).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "(a: int, b: str)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Calibration measurement: are the system's probabilities honest?
+//!
+//! §4.2 requires that "uncertainty is represented explicitly and reasoned
+//! with systematically, so that well informed decisions can build on a sound
+//! understanding of the available evidence". A probability is only a sound
+//! basis for decisions if it is *calibrated*; experiment E10 measures this
+//! with the Brier score and expected calibration error computed here.
+
+/// One (predicted probability, actual outcome) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted probability of the positive outcome, in \[0, 1\].
+    pub p: f64,
+    /// Whether the positive outcome occurred.
+    pub outcome: bool,
+}
+
+/// Mean squared error between predicted probabilities and outcomes
+/// (0 is perfect, 0.25 is the score of always answering 0.5).
+pub fn brier_score(preds: &[Prediction]) -> f64 {
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = preds
+        .iter()
+        .map(|pr| {
+            let y = if pr.outcome { 1.0 } else { 0.0 };
+            (pr.p - y).powi(2)
+        })
+        .sum();
+    sum / preds.len() as f64
+}
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Empirical frequency of positive outcomes in the bin.
+    pub observed: f64,
+}
+
+/// Bucket predictions into `bins` equal-width bins over \[0, 1\].
+pub fn reliability_diagram(preds: &[Prediction], bins: usize) -> Vec<CalibrationBin> {
+    assert!(bins > 0, "at least one bin required");
+    let mut sums = vec![(0usize, 0.0f64, 0usize); bins]; // (count, sum_p, positives)
+    for pr in preds {
+        let idx = ((pr.p * bins as f64) as usize).min(bins - 1);
+        let (c, sp, pos) = &mut sums[idx];
+        *c += 1;
+        *sp += pr.p;
+        *pos += usize::from(pr.outcome);
+    }
+    sums.iter()
+        .enumerate()
+        .map(|(i, (c, sp, pos))| CalibrationBin {
+            lo: i as f64 / bins as f64,
+            hi: (i + 1) as f64 / bins as f64,
+            count: *c,
+            mean_predicted: if *c == 0 { 0.0 } else { sp / *c as f64 },
+            observed: if *c == 0 {
+                0.0
+            } else {
+                *pos as f64 / *c as f64
+            },
+        })
+        .collect()
+}
+
+/// Expected calibration error: bin-count-weighted |mean predicted − observed|.
+pub fn expected_calibration_error(preds: &[Prediction], bins: usize) -> f64 {
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let diagram = reliability_diagram(preds, bins);
+    let n = preds.len() as f64;
+    diagram
+        .iter()
+        .map(|b| (b.count as f64 / n) * (b.mean_predicted - b.observed).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(p: f64, outcome: bool) -> Prediction {
+        Prediction { p, outcome }
+    }
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[pred(1.0, true), pred(0.0, false)]), 0.0);
+        assert_eq!(brier_score(&[pred(1.0, false)]), 1.0);
+        assert!((brier_score(&[pred(0.5, true), pred(0.5, false)]) - 0.25).abs() < 1e-12);
+        assert_eq!(brier_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // 10 predictions at 0.7 with 7 positives.
+        let mut preds = Vec::new();
+        for i in 0..10 {
+            preds.push(pred(0.7, i < 7));
+        }
+        let ece = expected_calibration_error(&preds, 10);
+        assert!(ece < 1e-9, "ece={ece}");
+    }
+
+    #[test]
+    fn overconfident_predictions_have_high_ece() {
+        // Predicts 0.95 but only half are positive.
+        let preds: Vec<_> = (0..20).map(|i| pred(0.95, i % 2 == 0)).collect();
+        let ece = expected_calibration_error(&preds, 10);
+        assert!(ece > 0.4, "ece={ece}");
+    }
+
+    #[test]
+    fn diagram_bins_cover_unit_interval_and_count_all() {
+        let preds: Vec<_> = (0..100)
+            .map(|i| pred(i as f64 / 99.0, i % 3 == 0))
+            .collect();
+        let d = reliability_diagram(&preds, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.iter().map(|b| b.count).sum::<usize>(), 100);
+        assert!((d[0].lo, d[9].hi) == (0.0, 1.0));
+        // p = 1.0 lands in the last bin, not out of range.
+        let d = reliability_diagram(&[pred(1.0, true)], 4);
+        assert_eq!(d[3].count, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! `wrangler-uncertainty` — the uniform uncertainty representation required by
+//! §4.2 of the paper.
+//!
+//! The architecture's Working Data mixes artifacts "as diverse as domain
+//! ontologies, matches, data extraction and transformation rules, schema
+//! mappings, user feedback and provenance information, along with their
+//! associated quality annotations and uncertainties". This crate supplies the
+//! single currency those annotations are expressed in:
+//!
+//! * [`Belief`] — a Bernoulli degree of belief with an evidence ledger;
+//! * [`Evidence`] — one typed observation (a matcher score, a feedback item,
+//!   a master-data confirmation ...) with a reliability-discounted likelihood;
+//! * naive-Bayes log-odds pooling ([`Belief::update`]), the principled way to
+//!   integrate many weak signals (§2.3 "using all the available information");
+//! * [`calibration`] — Brier score and expected calibration error, so the
+//!   system can *measure* whether its uncertainties mean anything (E10);
+//! * [`worlds`] — possible-worlds sampling over independent uncertain facts,
+//!   the classical semantics for uncertain data (\[1\], \[23\] in the paper).
+
+pub mod belief;
+pub mod calibration;
+pub mod evidence;
+pub mod worlds;
+
+pub use belief::Belief;
+pub use evidence::{Evidence, EvidenceKind};

@@ -1,0 +1,94 @@
+//! Property tests for the uncertainty substrate.
+
+use proptest::prelude::*;
+use wrangler_uncertainty::calibration::{brier_score, reliability_diagram, Prediction};
+use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
+
+fn arb_kind() -> impl Strategy<Value = EvidenceKind> {
+    prop_oneof![
+        Just(EvidenceKind::NameSimilarity),
+        Just(EvidenceKind::InstanceSimilarity),
+        Just(EvidenceKind::Ontology),
+        Just(EvidenceKind::MasterData),
+        Just(EvidenceKind::UserFeedback),
+        Just(EvidenceKind::CrowdFeedback),
+        Just(EvidenceKind::Redundancy),
+    ]
+}
+
+fn arb_evidence() -> impl Strategy<Value = Evidence> {
+    (arb_kind(), 0.0f64..=1.0, 0.0f64..=1.0)
+        .prop_map(|(k, score, rel)| Evidence::from_score(k, score).discounted(rel))
+}
+
+proptest! {
+    #[test]
+    fn probability_always_in_unit_interval(
+        prior in 0.0f64..=1.0,
+        evidence in prop::collection::vec(arb_evidence(), 0..30),
+    ) {
+        let mut b = Belief::from_prior(prior);
+        b.update_all(&evidence);
+        let p = b.probability();
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn update_order_is_irrelevant(
+        prior in 0.05f64..=0.95,
+        mut evidence in prop::collection::vec(arb_evidence(), 2..10),
+    ) {
+        let mut a = Belief::from_prior(prior);
+        a.update_all(&evidence);
+        evidence.reverse();
+        let mut b = Belief::from_prior(prior);
+        b.update_all(&evidence);
+        prop_assert!((a.probability() - b.probability()).abs() < 1e-9);
+        prop_assert_eq!(a.total_evidence(), b.total_evidence());
+    }
+
+    #[test]
+    fn llr_is_monotone_in_score(k in arb_kind(), s1 in 0.0f64..=1.0, s2 in 0.0f64..=1.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let e_lo = Evidence::from_score(k, lo);
+        let e_hi = Evidence::from_score(k, hi);
+        prop_assert!(e_lo.log_likelihood_ratio() <= e_hi.log_likelihood_ratio() + 1e-12);
+    }
+
+    #[test]
+    fn discounting_shrinks_magnitude(e in arb_evidence(), rel in 0.0f64..=1.0) {
+        let d = e.clone().discounted(rel);
+        prop_assert!(d.log_likelihood_ratio().abs() <= e.log_likelihood_ratio().abs() + 1e-12);
+        // Sign is preserved (or becomes zero).
+        if d.log_likelihood_ratio() != 0.0 {
+            prop_assert_eq!(
+                d.log_likelihood_ratio().signum(),
+                e.log_likelihood_ratio().signum()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_prior(prior in 0.05f64..=0.95, evidence in prop::collection::vec(arb_evidence(), 1..10)) {
+        let mut b = Belief::from_prior(prior);
+        b.update_all(&evidence);
+        b.reset();
+        prop_assert!((b.probability() - prior).abs() < 1e-9);
+        prop_assert_eq!(b.total_evidence(), 0);
+    }
+
+    #[test]
+    fn diagram_conserves_predictions(
+        preds in prop::collection::vec((0.0f64..=1.0, any::<bool>()), 0..200),
+        bins in 1usize..20,
+    ) {
+        let preds: Vec<Prediction> =
+            preds.into_iter().map(|(p, outcome)| Prediction { p, outcome }).collect();
+        let d = reliability_diagram(&preds, bins);
+        prop_assert_eq!(d.len(), bins);
+        prop_assert_eq!(d.iter().map(|b| b.count).sum::<usize>(), preds.len());
+        let brier = brier_score(&preds);
+        prop_assert!((0.0..=1.0).contains(&brier));
+    }
+}

@@ -1,0 +1,179 @@
+//! A pay-as-you-go wrangling session (paper §2.4, Example 5).
+//!
+//! Shows the feedback economy end to end: the first wrangle is fully
+//! automated; then "payment" arrives in different forms — expert judgements,
+//! simulated crowd labels on duplicates — each routed to every component
+//! that can learn from it, with incremental (not full) recomputation.
+//!
+//! Run with: `cargo run --release --example payg_session`
+
+use data_wrangler::core::eval::score_against_truth;
+use data_wrangler::feedback::crowd::{aggregate_em, Crowd};
+use data_wrangler::prelude::*;
+use data_wrangler::sources::synthetic::generate_fleet;
+
+fn main() {
+    let cfg = FleetConfig {
+        num_products: 100,
+        num_sources: 15,
+        now: 15,
+        error_rate: (0.05, 0.35),
+        ..FleetConfig::default()
+    };
+    let fleet = generate_fleet(&cfg, 11);
+
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .unwrap();
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let mut cols: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    cols.push(vec![Value::Null; catalog.num_rows()]);
+    let sample = Table::from_columns(Schema::new(fields).unwrap(), cols).unwrap();
+
+    let mut w = Wrangler::new(UserContext::balanced("payg"), ctx, sample);
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+
+    // Round 0: automation only.
+    let out0 = w.wrangle().unwrap();
+    let s0 = score_against_truth(&out0.table, &fleet.truth, 0.005).unwrap();
+    println!(
+        "round 0 (automation only): yield {:.2}, cost {:.1}",
+        s0.correct_price_yield, out0.cost_spent
+    );
+
+    // Round 1: the analyst reviews 10 rows, flagging wrong prices. Each item
+    // updates fusion, source trust AND mapping beliefs (shared routing).
+    let price_attr = w.target().index_of("price").unwrap();
+    let mut flagged = 0;
+    for row in 0..out0.table.num_rows() {
+        if flagged == 10 {
+            break;
+        }
+        if let (Some(sku), Some(p)) = (
+            out0.table.get_named(row, "sku").unwrap().as_str(),
+            out0.table.get_named(row, "price").unwrap().as_f64(),
+        ) {
+            let correct = fleet.truth.price_is_correct(sku, p, 0.005);
+            w.give_feedback(FeedbackItem::expert(
+                FeedbackTarget::Value {
+                    entity: row,
+                    attr: price_attr,
+                    value: Some(Value::Float(p)),
+                },
+                if correct {
+                    Verdict::Positive
+                } else {
+                    Verdict::Negative
+                },
+                0.5, // each judgement costs half an effort unit
+            ));
+            flagged += 1;
+        }
+    }
+    let work_before = w.working.work;
+    let out1 = w.rewrangle().unwrap();
+    let inc = w.working.work - work_before;
+    let s1 = score_against_truth(&out1.table, &fleet.truth, 0.005).unwrap();
+    println!(
+        "round 1 (+10 expert judgements): yield {:.2}, cost {:.1}  [incremental: {} slots re-fused, 0 remaps]",
+        s1.correct_price_yield, out1.cost_spent, inc.slots_fused
+    );
+    assert_eq!(inc.mappings_generated, 0);
+    assert_eq!(inc.er_pairs, 0);
+
+    // Round 2: crowdsourced duplicate labels (Example 5: "crowdsourcing, with
+    // direct financial payment of crowd workers ... to identify duplicates").
+    // The crowd judges candidate union-row pairs; EM aggregation estimates
+    // worker quality; aggregated labels refine the ER rule.
+    let mut crowd = Crowd::new(12, (0.6, 0.95), 0.05, 3);
+    // Candidate pairs worth asking about: some rows the system merged
+    // (verify them) and some adjacent unmerged rows (catch missed dupes).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for r in 0..w.union_len().saturating_sub(1) {
+        if pairs.len() >= 20 {
+            break;
+        }
+        pairs.push((r, r + 1));
+        // Also a same-entity partner if one exists further on.
+        if let Some(e) = w.entity_of_union_row(r) {
+            if let Some(partner) =
+                (r + 2..w.union_len()).find(|&q| w.entity_of_union_row(q) == Some(e))
+            {
+                pairs.push((r, partner));
+            }
+        }
+    }
+    pairs.truncate(20);
+    // The crowd knows the *world*, not the system's clustering: ground-truth
+    // identity comes from the wrangled rows' identity in the fleet.
+    let row_product = |r: usize| -> Option<usize> {
+        let e = w.entity_of_union_row(r)?;
+        let sku = out1.table.get_named(e, "sku").ok()?.as_str()?.to_string();
+        fleet.truth.index_of(&sku)
+    };
+    let truths: Vec<bool> = pairs
+        .iter()
+        .map(|&(a, b)| match (row_product(a), row_product(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        })
+        .collect();
+    let votes = crowd.ask(&truths, 5);
+    let agg = aggregate_em(&votes, truths.len(), crowd.len(), crowd.fee, 15);
+    for (k, (&ans, &conf)) in agg.answers.iter().zip(&agg.confidence).enumerate() {
+        let (row_a, row_b) = pairs[k];
+        w.give_feedback(FeedbackItem::crowd(
+            FeedbackTarget::DuplicatePair { row_a, row_b },
+            if ans {
+                Verdict::Positive
+            } else {
+                Verdict::Negative
+            },
+            conf,
+            agg.cost / truths.len() as f64,
+        ));
+    }
+    let er_f1 = w.refine_er();
+    println!(
+        "round 2 (+{} crowd-labeled pairs, {} votes, ${:.2}): ER rule refined to F1 {:.2} on labels",
+        truths.len(),
+        votes.len(),
+        agg.cost,
+        er_f1.unwrap_or(0.0)
+    );
+
+    let out2 = w.rewrangle().unwrap();
+    let s2 = score_against_truth(&out2.table, &fleet.truth, 0.005).unwrap();
+    println!(
+        "round 2 result: yield {:.2}, total cost {:.1} (access + feedback ledger)",
+        s2.correct_price_yield, out2.cost_spent
+    );
+    println!(
+        "\npayment ledger: {} items, {:.2} units",
+        w.feedback.len(),
+        w.feedback.total_cost()
+    );
+    assert!(s1.correct_price_yield >= s0.correct_price_yield - 0.05);
+
+    // Finally: analysis *with* the uncertainty, not despite it (§4.3).
+    // "How many of our products are listed above $250?" — answered over
+    // possible worlds, with an error bar from the delivered confidences.
+    let view = UncertainView::new(out2.table.clone()).unwrap();
+    let est = view
+        .estimate_count(&Expr::col("price").gt(Expr::lit(250.0)), 7, 5_000)
+        .unwrap();
+    let certain = view
+        .estimate_exists(&Expr::col("price").gt(Expr::lit(450.0)), 7, 1)
+        .unwrap();
+    println!(
+        "\nuncertain analytics: #products over $250 = {:.1} ± {:.1}; P(any over $450) = {:.2}",
+        est.mean, est.std_dev, certain
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: wrangle two messy sources against a tiny catalog.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use data_wrangler::prelude::*;
+
+fn main() {
+    // Sources, as extraction delivered them: different schemas, messy values.
+    let shop_a = Table::literal(
+        &["code", "title", "cost"],
+        vec![
+            vec!["p1".into(), "Turbo Widget".into(), "$9.99".into()],
+            vec!["p2".into(), "Mini Gadget".into(), "$24.00".into()],
+            vec!["p3".into(), "Mega Flange".into(), "$105.00".into()],
+        ],
+    )
+    .unwrap();
+    let shop_b = Table::literal(
+        &["sku", "name", "price"],
+        vec![
+            vec!["p2".into(), "Mini Gadget".into(), Value::Float(23.5)],
+            vec!["p3".into(), "Mega Flange".into(), Value::Float(99.0)],
+        ],
+    )
+    .unwrap();
+
+    // Master data: the products we care about (prices unknown — that is the
+    // point of wrangling them in).
+    let catalog = Table::literal(
+        &["sku", "name", "price"],
+        vec![
+            vec!["p1".into(), "Turbo Widget".into(), Value::Null],
+            vec!["p2".into(), "Mini Gadget".into(), Value::Null],
+            vec!["p3".into(), "Mega Flange".into(), Value::Null],
+        ],
+    )
+    .unwrap();
+
+    let mut data_ctx = DataContext::with_ontology(Ontology::ecommerce());
+    data_ctx
+        .add_master("product", catalog.clone(), "sku")
+        .unwrap();
+
+    let user = UserContext::balanced("quickstart").with_required_columns(&["sku", "price"]);
+    let mut wrangler = Wrangler::new(user, data_ctx, catalog);
+    wrangler.add_source(SourceMeta::new(SourceId(0), "shop-a.example"), shop_a);
+    wrangler.add_source(SourceMeta::new(SourceId(0), "shop-b.example"), shop_b);
+
+    let out = wrangler.wrangle().expect("wrangling succeeds");
+    println!(
+        "Wrangled {} entities from {} sources:\n",
+        out.entities,
+        out.selected_sources.len()
+    );
+    println!("{}", out.table.show(10));
+    println!("quality: {}", out.quality);
+    println!("utility under context: {:.3}", out.utility);
+}

@@ -1,0 +1,64 @@
+//! `data-wrangler` — facade crate re-exporting the vada-wrangler workspace.
+//!
+//! A faithful, executable rendering of the architecture proposed in
+//! *Data Wrangling for Big Data: Challenges and Opportunities* (Furche,
+//! Gottlob, Libkin, Orsi, Paton — EDBT 2016): context-aware, highly
+//! automated, pay-as-you-go data wrangling.
+//!
+//! ```
+//! use data_wrangler::prelude::*;
+//!
+//! // Two messy sources about the same products.
+//! let a = Table::literal(
+//!     &["code", "title", "cost"],
+//!     vec![
+//!         vec!["p1".into(), "Turbo Widget".into(), "$9.99".into()],
+//!         vec!["p2".into(), "Mini Gadget".into(), "$24.00".into()],
+//!     ],
+//! ).unwrap();
+//! let b = Table::literal(
+//!     &["sku", "name", "price"],
+//!     vec![vec!["p2".into(), "Mini Gadget".into(), Value::Float(23.5)]],
+//! ).unwrap();
+//!
+//! // The catalog we already own (master data) defines the target schema.
+//! let catalog = Table::literal(
+//!     &["sku", "name", "price"],
+//!     vec![
+//!         vec!["p1".into(), "Turbo Widget".into(), Value::Null],
+//!         vec!["p2".into(), "Mini Gadget".into(), Value::Null],
+//!     ],
+//! ).unwrap();
+//!
+//! let ctx = DataContext::with_ontology(Ontology::ecommerce());
+//! let mut w = Wrangler::new(UserContext::balanced("demo"), ctx, catalog);
+//! w.add_source(SourceMeta::new(SourceId(0), "shopA"), a);
+//! w.add_source(SourceMeta::new(SourceId(0), "shopB"), b);
+//! let out = w.wrangle().unwrap();
+//! assert_eq!(out.entities, 2);
+//! ```
+
+pub use wrangler_context as context;
+pub use wrangler_core as core;
+pub use wrangler_extract as extract;
+pub use wrangler_feedback as feedback;
+pub use wrangler_fusion as fusion;
+pub use wrangler_mapping as mapping;
+pub use wrangler_match as matching;
+pub use wrangler_quality as quality;
+pub use wrangler_resolve as resolve;
+pub use wrangler_sources as sources;
+pub use wrangler_table as table;
+pub use wrangler_uncertainty as uncertainty;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use wrangler_context::{Criterion, DataContext, Ontology, QualityVector, UserContext};
+    pub use wrangler_core::{
+        suggest_feedback_targets, Plan, UncertainView, WrangleOutcome, Wrangler,
+    };
+    pub use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
+    pub use wrangler_sources::{FleetConfig, SourceId, SourceMeta, SourceRegistry};
+    pub use wrangler_table::{DataType, Expr, Schema, Table, Value};
+    pub use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
+}

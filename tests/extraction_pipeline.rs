@@ -1,0 +1,133 @@
+//! Integration: web-style extraction feeding the wrangler — pages in,
+//! wrangled entities out — including a mid-session site redesign handled by
+//! informed wrapper repair (the §4.1 extraction/integration co-design).
+
+use data_wrangler::extract::induce::Annotation;
+use data_wrangler::extract::repair::{drift_detected, repair_wrapper, RepairConfig};
+use data_wrangler::extract::{induce_wrapper, Template};
+use data_wrangler::prelude::*;
+use data_wrangler::sources::locations::{generate_locations, CheckinConfig};
+
+/// Two "sites" render the same product world with different templates; we
+/// induce wrappers, extract, and wrangle the extractions.
+#[test]
+fn pages_to_wrangled_entities() {
+    let world = Table::literal(
+        &["sku", "name", "price"],
+        (0..30)
+            .map(|i| {
+                vec![
+                    Value::from(format!("P{i:03}")),
+                    Value::from(format!("Item Number {i}")),
+                    Value::Float(10.0 + i as f64),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+
+    let mut wrangler = {
+        let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+        ctx.add_master("product", world.clone(), "sku").unwrap();
+        Wrangler::new(UserContext::balanced("extract-e2e"), ctx, world.clone())
+    };
+
+    for (si, seed) in [3u64, 9].iter().enumerate() {
+        let template = Template::listing(&["sku", "name", "price"]).drift(*seed);
+        let page = template.render(&world);
+        let ann = |i: usize| {
+            Annotation::of(&[
+                ("sku", &world.get_named(i, "sku").unwrap().render()),
+                ("name", &world.get_named(i, "name").unwrap().render()),
+                ("price", &world.get_named(i, "price").unwrap().render()),
+            ])
+        };
+        let wrapper = induce_wrapper(&page, &[ann(2), ann(20)]).expect("induce");
+        let extraction = wrapper.extract(&page).expect("extract");
+        assert_eq!(extraction.records_found, 30);
+        wrangler.add_source(
+            SourceMeta::new(SourceId(si as u32), format!("site{si}")),
+            extraction.table,
+        );
+    }
+    let out = wrangler.wrangle().unwrap();
+    assert_eq!(
+        out.entities, 30,
+        "two clean extractions of the same world merge 1:1"
+    );
+    for r in 0..out.table.num_rows() {
+        assert!(!out.table.get_named(r, "price").unwrap().is_null());
+    }
+}
+
+/// The Example 3 loop as a test: check-ins cleaned against site data that
+/// survives a redesign via informed repair.
+#[test]
+fn locations_repair_loop() {
+    let cfg = CheckinConfig {
+        num_businesses: 40,
+        num_checkins: 150,
+        wrong_geo_rate: 0.1,
+        misspell_rate: 0.1,
+        fantasy_rate: 0.05,
+    };
+    let world = generate_locations(&cfg, 21);
+    let sites = world.website_table();
+    let template = Template::listing(&["url", "name", "address", "city", "lat", "lon"]);
+    let page = template.render(&sites);
+    let ann = |i: usize| {
+        Annotation::of(&[
+            ("url", &sites.get_named(i, "url").unwrap().render()),
+            ("name", &sites.get_named(i, "name").unwrap().render()),
+            ("lat", &sites.get_named(i, "lat").unwrap().render()),
+            ("lon", &sites.get_named(i, "lon").unwrap().render()),
+        ])
+    };
+    let wrapper = induce_wrapper(&page, &[ann(1), ann(15)]).expect("induce");
+    let first = wrapper.extract(&page).expect("extract");
+    assert_eq!(first.records_found, 40);
+
+    // Redesign; old wrapper dies; informed repair resurrects it.
+    let new_page = template.drift(77).render(&sites);
+    let broken = wrapper.extract(&new_page).expect("extract");
+    assert!(drift_detected(&broken, 0.5));
+    let outcome = repair_wrapper(
+        &wrapper,
+        &new_page,
+        &first.table,
+        &RepairConfig {
+            stable_columns: vec!["url".into(), "name".into()],
+            ..RepairConfig::default()
+        },
+    )
+    .expect("informed repair");
+    let restored = outcome.wrapper.extract(&new_page).expect("extract");
+    assert_eq!(restored.records_found, 40);
+    // The numeric geo fields were recovered without any value matching.
+    let lat_ok = (0..40)
+        .filter(|&i| {
+            restored
+                .table
+                .get_named(i, "lat")
+                .unwrap()
+                .as_f64()
+                .is_some()
+        })
+        .count();
+    assert!(lat_ok >= 38, "lat recovered for {lat_ok}/40");
+
+    // Fantasy check-ins have no site to verify against.
+    let urls = restored.table.column_named("url").unwrap();
+    let mut fantasy_flagged = 0;
+    for i in 0..world.checkins.num_rows() {
+        let u = world.checkins.get_named(i, "url").unwrap();
+        match u.as_str() {
+            None => fantasy_flagged += 1,
+            Some(u) => assert!(urls.iter().any(|v| v.as_str() == Some(u))),
+        }
+    }
+    assert_eq!(
+        fantasy_flagged,
+        world.defects.iter().filter(|d| d.2).count()
+    );
+}

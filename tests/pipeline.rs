@@ -1,0 +1,233 @@
+//! Integration tests: the full pipeline across crates, on seeded synthetic
+//! fleets. These assert the *shape* results documented in EXPERIMENTS.md.
+
+use data_wrangler::core::baseline::{ManualEtl, SourceSpec};
+use data_wrangler::core::eval::score_against_truth;
+use data_wrangler::prelude::*;
+use data_wrangler::sources::synthetic::generate_fleet;
+
+fn fleet(seed: u64) -> data_wrangler::sources::SyntheticFleet {
+    generate_fleet(
+        &FleetConfig {
+            num_products: 80,
+            num_sources: 12,
+            now: 15,
+            coverage: (0.4, 0.9),
+            error_rate: (0.02, 0.25),
+            null_rate: (0.0, 0.08),
+            staleness: (0, 8),
+            ..FleetConfig::default()
+        },
+        seed,
+    )
+}
+
+fn session(fleet: &data_wrangler::sources::SyntheticFleet, user: UserContext) -> Wrangler {
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .unwrap();
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let mut cols: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    cols.push(vec![Value::Null; catalog.num_rows()]);
+    let sample = Table::from_columns(Schema::new(fields).unwrap(), cols).unwrap();
+    let mut w = Wrangler::new(user, ctx, sample);
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+    w
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let f = fleet(5);
+    let out1 = session(&f, UserContext::balanced("t")).wrangle().unwrap();
+    let out2 = session(&f, UserContext::balanced("t")).wrangle().unwrap();
+    assert_eq!(out1.entities, out2.entities);
+    assert_eq!(out1.table, out2.table);
+    assert_eq!(out1.selected_sources, out2.selected_sources);
+}
+
+#[test]
+fn automated_pipeline_reaches_usable_quality() {
+    let f = fleet(7);
+    let mut w = session(&f, UserContext::balanced("t"));
+    let out = w.wrangle().unwrap();
+    let s = score_against_truth(&out.table, &f.truth, 0.005).unwrap();
+    assert!(s.coverage > 0.9, "coverage {}", s.coverage);
+    assert!(
+        s.price_accuracy > 0.4,
+        "price accuracy {}",
+        s.price_accuracy
+    );
+    // Entity count near the true product count (no blow-up, no collapse).
+    assert!(
+        out.entities >= 70 && out.entities <= 130,
+        "{} entities",
+        out.entities
+    );
+}
+
+#[test]
+fn contexts_shape_the_result_differently() {
+    let f = fleet(11);
+    let out_acc = session(&f, UserContext::accuracy_first())
+        .wrangle()
+        .unwrap();
+    let out_com = session(&f, UserContext::completeness_first())
+        .wrangle()
+        .unwrap();
+    let s_acc = score_against_truth(&out_acc.table, &f.truth, 0.005).unwrap();
+    let s_com = score_against_truth(&out_com.table, &f.truth, 0.005).unwrap();
+    // The accuracy-first context delivers more accurate prices; the
+    // completeness-first context uses at least as many sources.
+    assert!(
+        s_acc.price_accuracy >= s_com.price_accuracy,
+        "acc {} vs com {}",
+        s_acc.price_accuracy,
+        s_com.price_accuracy
+    );
+    assert!(out_com.selected_sources.len() >= out_acc.selected_sources.len());
+}
+
+#[test]
+fn feedback_improves_quality_at_bounded_cost() {
+    let f = fleet(13);
+    let mut w = session(&f, UserContext::completeness_first());
+    let out0 = w.wrangle().unwrap();
+    let s0 = score_against_truth(&out0.table, &f.truth, 0.005).unwrap();
+    let price_attr = w.target().index_of("price").unwrap();
+    // Oracle-played analyst flags 20 wrong prices.
+    let mut flagged = 0;
+    for row in 0..out0.table.num_rows() {
+        if flagged == 20 {
+            break;
+        }
+        if let (Some(sku), Some(p)) = (
+            out0.table.get_named(row, "sku").unwrap().as_str(),
+            out0.table.get_named(row, "price").unwrap().as_f64(),
+        ) {
+            if !f.truth.price_is_correct(sku, p, 0.005) {
+                w.give_feedback(FeedbackItem::expert(
+                    FeedbackTarget::Value {
+                        entity: row,
+                        attr: price_attr,
+                        value: None,
+                    },
+                    Verdict::Negative,
+                    1.0,
+                ));
+                flagged += 1;
+            }
+        }
+    }
+    let work_before = w.working.work;
+    let out1 = w.rewrangle().unwrap();
+    let s1 = score_against_truth(&out1.table, &f.truth, 0.005).unwrap();
+    let delta = w.working.work - work_before;
+    assert!(
+        s1.price_accuracy >= s0.price_accuracy,
+        "feedback must not hurt: {} -> {}",
+        s0.price_accuracy,
+        s1.price_accuracy
+    );
+    // And it was incremental: no remapping, no re-ER.
+    assert_eq!(delta.mappings_generated, 0);
+    assert_eq!(delta.er_pairs, 0);
+}
+
+#[test]
+fn automated_system_beats_manual_etl_after_drift() {
+    // The manual baseline is specified once against the original schemas.
+    // Then half the sources "redesign" (schema drift): the specs rot while
+    // the automated system re-maps on its own.
+    let f = fleet(17);
+    let mut etl = ManualEtl::new(
+        Schema::new(vec![
+            wrangler_table::Field::new("sku", DataType::Str),
+            wrangler_table::Field::new("price", DataType::Float),
+        ])
+        .unwrap(),
+        5.0,
+    );
+    // Expert correctly specifies every source (paying for each).
+    let canonical = ["sku", "name", "brand", "category", "price", "stock"];
+    for (i, s) in f.registry.iter().enumerate() {
+        etl.specify_by_inspection(i, &s.table, &|col| {
+            // The expert recognizes drifted names via the same synonym table
+            // the sources drew from.
+            let ont = Ontology::ecommerce();
+            ont.resolve(col).and_then(|c| {
+                let name = ont.concept(c).name.clone();
+                canonical.contains(&name.as_str()).then_some(name)
+            })
+        });
+    }
+    let tables: Vec<&Table> = f.registry.iter().map(|s| &s.table).collect();
+    let etl_before = etl.run(&tables).unwrap();
+    assert!(etl_before.num_rows() > 50, "spec'd ETL works initially");
+    assert!(
+        etl.effort_spent >= 12.0 * 5.0,
+        "manual effort is linear in sources"
+    );
+
+    // Drift: regenerate the fleet with different schema noise (same world
+    // seed would be ideal; different seed approximates a redesign wave).
+    let drifted = fleet(18);
+    let tables2: Vec<&Table> = drifted.registry.iter().map(|s| &s.table).collect();
+    let etl_after = etl.run(&tables2).unwrap();
+    // The automated system handles the drifted fleet with zero manual effort.
+    let mut w = session(&drifted, UserContext::balanced("t"));
+    let out = w.wrangle().unwrap();
+    let s_auto = score_against_truth(&out.table, &drifted.truth, 0.01).unwrap();
+    let s_etl = score_against_truth(&etl_after, &drifted.truth, 0.01).unwrap_or(
+        data_wrangler::core::eval::Scores {
+            coverage: 0.0,
+            price_accuracy: 0.0,
+            correct_price_yield: 0.0,
+            f1: 0.0,
+        },
+    );
+    assert!(
+        s_auto.coverage > s_etl.coverage || s_auto.correct_price_yield > s_etl.correct_price_yield,
+        "auto {s_auto:?} vs etl {s_etl:?}"
+    );
+}
+
+#[test]
+fn irrelevant_sources_are_not_selected() {
+    let cfg = FleetConfig {
+        num_products: 60,
+        num_sources: 10,
+        irrelevant_rate: 0.5,
+        ..FleetConfig::default()
+    };
+    let f = generate_fleet(&cfg, 23);
+    let mut w = session(&f, UserContext::accuracy_first());
+    let out = w.wrangle().unwrap();
+    for id in &out.selected_sources {
+        let i = id.0 as usize;
+        assert!(
+            !f.latents[i].irrelevant,
+            "irrelevant source {} selected (relevance should exclude it)",
+            id
+        );
+    }
+}
+
+#[test]
+fn budget_caps_source_access() {
+    let f = fleet(29);
+    let mut w = session(&f, UserContext::accuracy_first().with_budget(3.0));
+    let out = w.wrangle().unwrap();
+    let spent: f64 = out
+        .selected_sources
+        .iter()
+        .map(|id| f.registry.get(*id).unwrap().meta.access_cost)
+        .sum();
+    assert!(spent <= 3.0 + 1e-9, "spent {spent} over budget");
+}

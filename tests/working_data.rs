@@ -1,0 +1,107 @@
+//! Integration: the Working Data surface — context switching mid-session,
+//! provenance export, and uncertain analytics over wrangled output.
+
+use data_wrangler::core::provenance::provenance_table;
+use data_wrangler::prelude::*;
+use data_wrangler::sources::synthetic::generate_fleet;
+use data_wrangler::table::ops;
+
+fn session(user: UserContext) -> (Wrangler, data_wrangler::sources::SyntheticFleet) {
+    let fleet = generate_fleet(
+        &FleetConfig {
+            num_products: 60,
+            num_sources: 10,
+            now: 12,
+            error_rate: (0.05, 0.25),
+            staleness: (0, 6),
+            ..FleetConfig::default()
+        },
+        31,
+    );
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .unwrap();
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let mut cols: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    cols.push(vec![Value::Null; catalog.num_rows()]);
+    let sample = Table::from_columns(Schema::new(fields).unwrap(), cols).unwrap();
+    let mut w = Wrangler::new(user, ctx, sample);
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+    (w, fleet)
+}
+
+#[test]
+fn switching_contexts_changes_the_tradeoff_in_one_session() {
+    let (mut w, _) = session(UserContext::completeness_first());
+    let complete = w.wrangle().unwrap();
+    let delivered = |t: &Table| {
+        let col = t.column_named("price").unwrap();
+        col.iter().filter(|v| !v.is_null()).count() as f64 / col.len().max(1) as f64
+    };
+    let d_complete = delivered(&complete.table);
+
+    // Same session, new hat: the analyst switches to routine comparison.
+    w.set_user_context(UserContext::accuracy_first());
+    let accurate = w.wrangle().unwrap();
+    let d_accurate = delivered(&accurate.table);
+    assert!(
+        d_accurate < d_complete,
+        "accuracy-first must withhold more: {d_accurate} vs {d_complete}"
+    );
+    assert!(accurate.selected_sources.len() <= complete.selected_sources.len());
+    // Switching back restores the permissive behaviour.
+    w.set_user_context(UserContext::completeness_first());
+    let back = w.wrangle().unwrap();
+    assert!((delivered(&back.table) - d_complete).abs() < 0.15);
+}
+
+#[test]
+fn provenance_is_queryable_working_data() {
+    let (mut w, _) = session(UserContext::completeness_first());
+    let out = w.wrangle().unwrap();
+    let prov = provenance_table(&w).unwrap();
+    assert!(
+        prov.num_rows() > out.entities,
+        "at least one claim per entity"
+    );
+    // "Which source dissents most often?" — a relational question.
+    let dissent = ops::filter(&prov, &Expr::col("supports").eq(Expr::lit(false))).unwrap();
+    let by_source =
+        ops::group_by(&dissent, &["source"], &[(ops::Agg::CountAll, "entity")]).unwrap();
+    let sorted = ops::sort_by(&by_source, &["count_all_entity"]).unwrap();
+    assert!(sorted.num_rows() >= 1);
+}
+
+#[test]
+fn uncertain_view_supports_decision_queries() {
+    let (mut w, fleet) = session(UserContext::completeness_first());
+    let out = w.wrangle().unwrap();
+    let view = UncertainView::new(out.table.clone()).unwrap();
+    assert_eq!(view.len(), out.table.num_rows());
+    // Expected number of catalog products priced above the median base price.
+    let est = view
+        .estimate_count(&Expr::col("price").gt(Expr::lit(100.0)), 3, 4000)
+        .unwrap();
+    assert!(est.mean > 0.0 && est.mean < out.table.num_rows() as f64);
+    // The estimate is consistent with a deterministic count at the extremes:
+    // certainly fewer than "all rows" and at least the fully-confident ones.
+    let confident_over = (0..out.table.num_rows())
+        .filter(|&r| {
+            out.table
+                .get_named(r, "price")
+                .unwrap()
+                .as_f64()
+                .is_some_and(|p| p > 100.0)
+                && out.table.get_named(r, "_confidence").unwrap().as_f64() == Some(1.0)
+        })
+        .count() as f64;
+    assert!(est.mean >= confident_over - 1e-9);
+    let _ = fleet;
+}
