@@ -1,0 +1,123 @@
+//! E11 — robustness of acquisition under source faults (§2.2, §4.2).
+//!
+//! The paper's setting assumes "thousands of sources" reached over the open
+//! web; in production a fraction of them is down, slow, rate-limited, or
+//! serving damaged payloads at any moment. Claim under test: a resilient
+//! acquisition layer (bounded backoff retries + circuit breakers + graceful
+//! degradation) preserves coverage and quality as the fault rate grows,
+//! where the naive disciplines — abort on first failure, or blind retry —
+//! either fail outright or burn unbounded retry cost.
+//!
+//! Everything is seeded and runs on virtual ticks: re-running this binary
+//! reproduces the table exactly.
+
+use wrangler_bench::{default_fleet_config, fleet, header, row, session};
+use wrangler_context::UserContext;
+use wrangler_core::acquire::AcquisitionMode;
+use wrangler_core::eval::score_against_truth;
+use wrangler_sources::faults::{FaultConfig, FaultProfile};
+
+struct Cell {
+    ok: bool,
+    coverage: f64,
+    accuracy: f64,
+    utility: f64,
+    attempts: u64,
+    skipped: usize,
+    degraded: usize,
+}
+
+fn run(mode: AcquisitionMode, fault_rate: f64, seed: u64) -> Cell {
+    let cfg = default_fleet_config();
+    let f = fleet(&cfg, seed);
+    let mut w = session(&f, UserContext::completeness_first());
+    w.acquisition.mode = mode;
+    w.inject_faults(&FaultConfig::with_rate(fault_rate, seed.wrapping_add(100)));
+    match w.wrangle() {
+        Ok(out) => {
+            let s = score_against_truth(&out.table, &f.truth, 0.005).expect("score");
+            Cell {
+                ok: true,
+                coverage: s.coverage,
+                accuracy: s.price_accuracy,
+                utility: out.utility,
+                attempts: out.acquisition_attempts,
+                skipped: out.skipped_sources.len(),
+                degraded: out.degraded_sources.len(),
+            }
+        }
+        Err(_) => Cell {
+            ok: false,
+            coverage: 0.0,
+            accuracy: 0.0,
+            utility: 0.0,
+            attempts: w.acquisition_summary().attempts,
+            skipped: w.acquisition_summary().skipped.len(),
+            degraded: 0,
+        },
+    }
+}
+
+fn main() {
+    println!("E11: acquisition resilience vs fault rate (20 sources, 200 products)");
+    println!("(abort = fail on first error; blind = up to 25 immediate retries then");
+    println!(" fail; resilient = backoff + circuit breakers + degrade gracefully)\n");
+
+    let modes: [(&str, AcquisitionMode); 3] = [
+        ("abort", AcquisitionMode::AbortOnFailure),
+        ("blind", AcquisitionMode::BlindRetry { attempts: 25 }),
+        ("resilient", AcquisitionMode::Resilient),
+    ];
+    let widths = [7, 10, 9, 9, 9, 9, 6, 5];
+    println!(
+        "{}",
+        header(
+            &["fault%", "mode", "ok", "coverage", "accuracy", "utility", "tries", "skip"],
+            &widths
+        )
+    );
+    let seed = 1106;
+    for &rate in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        for (name, mode) in modes {
+            let c = run(mode, rate, seed);
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{:.0}", rate * 100.0),
+                        name.to_string(),
+                        if c.ok { "yes" } else { "FAIL" }.to_string(),
+                        format!("{:.3}", c.coverage),
+                        format!("{:.3}", c.accuracy),
+                        format!("{:.3}", c.utility),
+                        format!("{}", c.attempts),
+                        format!("{}+{}d", c.skipped, c.degraded),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+
+    // The degenerate case: every source hard-down must be a structured
+    // error, not a panic or a hang.
+    let cfg = default_fleet_config();
+    let f = fleet(&cfg, seed);
+    let mut w = session(&f, UserContext::completeness_first());
+    let n = f.registry.len();
+    w.inject_faults(&FaultConfig::with_rate(0.0, 0));
+    for i in 0..n {
+        w.set_fault_profile(wrangler_sources::SourceId(i as u32), FaultProfile::HardDown);
+    }
+    match w.wrangle() {
+        Err(e) => println!("all-sources-down: clean error: {e}"),
+        Ok(_) => println!("all-sources-down: UNEXPECTED success"),
+    }
+
+    println!("\nShape expected: at 0% all modes agree. As the fault rate grows,");
+    println!("abort fails as soon as any selected source is faulty; blind retry");
+    println!("burns an order of magnitude more attempts before failing anyway;");
+    println!("resilient completes on the surviving subset with gently declining");
+    println!("coverage, strictly beating both baselines at >= 20% faults.");
+}

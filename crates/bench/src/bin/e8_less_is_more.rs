@@ -39,6 +39,7 @@ fn main() {
             age: f.truth.now.saturating_sub(s.meta.last_updated),
             cost: s.meta.access_cost,
             relevance: if lat.irrelevant { 0.0 } else { 1.0 },
+            availability: 1.0,
         })
         .collect();
 

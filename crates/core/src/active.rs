@@ -82,7 +82,7 @@ mod tests {
     use super::*;
     use wrangler_context::{DataContext, Ontology, UserContext};
     use wrangler_feedback::{FeedbackItem, FeedbackTarget, Verdict};
-    use wrangler_sources::{FleetConfig, SourceMeta};
+    use wrangler_sources::FleetConfig;
     use wrangler_table::{DataType, Schema, Table};
 
     fn session() -> (Wrangler, wrangler_sources::SyntheticFleet) {

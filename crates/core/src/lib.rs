@@ -18,6 +18,7 @@
 //! * [`eval`] — ground-truth scoring against the synthetic fleet, used by
 //!   every experiment.
 
+pub mod acquire;
 pub mod active;
 pub mod baseline;
 pub mod eval;
@@ -27,8 +28,12 @@ pub mod uncertain;
 pub mod working;
 pub mod wrangler;
 
+pub use acquire::{
+    Acquisition, AcquisitionMode, AcquisitionSummary, BreakerConfig, BreakerState, CircuitBreaker,
+    RetryPolicy,
+};
 pub use active::suggest_feedback_targets;
 pub use planner::Plan;
-pub use provenance::provenance_table;
+pub use provenance::{acquisition_table, provenance_table};
 pub use uncertain::UncertainView;
 pub use wrangler::{WrangleOutcome, Wrangler};

@@ -65,6 +65,38 @@ pub fn provenance_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
     Ok(t)
 }
 
+/// Columns of the acquisition-provenance table.
+pub const ACQUISITION_COLUMNS: [&str; 5] = ["source", "disposition", "detail", "attempts", "ticks"];
+
+/// Materialize the last wrangle's acquisition pass as a table: one row per
+/// selected source recording how (and whether) its payload was obtained.
+/// Together with [`provenance_table`] this answers not only *where a value
+/// came from* but *what it cost to get it and what never arrived* — the
+/// operational half of lineage. Empty before the first wrangle.
+pub fn acquisition_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
+    use crate::acquire::Disposition;
+
+    let schema = Schema::of_strs(&ACQUISITION_COLUMNS);
+    let mut out = Table::empty(schema);
+    for o in &wrangler.acquisition_summary().outcomes {
+        let (disposition, detail) = match &o.disposition {
+            Disposition::Fresh => ("fresh", String::new()),
+            Disposition::Degraded(d) => ("degraded", d.to_string()),
+            Disposition::Skipped(e) => ("skipped", e.to_string()),
+            Disposition::Quarantined => ("quarantined", "circuit open".to_string()),
+        };
+        out.push_row(vec![
+            Value::from(o.id.to_string()),
+            Value::from(disposition.to_string()),
+            Value::from(detail),
+            Value::Int(i64::from(o.attempts)),
+            Value::Int(o.ticks as i64),
+        ])?;
+    }
+    out.reinfer_types();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +138,30 @@ mod tests {
     fn empty_before_first_wrangle() {
         let w = session();
         assert_eq!(provenance_table(&w).unwrap().num_rows(), 0);
+        assert_eq!(acquisition_table(&w).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn acquisition_lineage_records_every_selected_source() {
+        let mut w = session();
+        w.set_fault_profile(
+            wrangler_sources::SourceId(0),
+            wrangler_sources::FaultProfile::HardDown,
+        );
+        let out = w.wrangle().unwrap();
+        let acq = acquisition_table(&w).unwrap();
+        assert_eq!(acq.schema().names(), ACQUISITION_COLUMNS.to_vec());
+        assert_eq!(
+            acq.num_rows(),
+            out.selected_sources.len() + out.skipped_sources.len()
+        );
+        // The downed source, if selected, shows up as skipped with a reason.
+        for r in 0..acq.num_rows() {
+            let row = acq.row(r);
+            if row[0] == Value::from("src0".to_string()) {
+                assert_eq!(row[1], Value::from("skipped".to_string()));
+            }
+        }
     }
 
     #[test]

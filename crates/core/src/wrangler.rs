@@ -17,13 +17,15 @@ use wrangler_resolve::learn::{refine_rule, LabeledPair};
 use wrangler_resolve::{
     candidates_blocked, cluster_pairs, match_pairs, ErConfig, FieldSim, SimKind,
 };
+use wrangler_sources::faults::{Degradation, FaultConfig, FaultProfile};
 use wrangler_sources::{
-    select_greedy_utility, select_marginal_gain, SourceEstimate, SourceId, SourceMeta,
+    select_greedy_utility, select_marginal_gain, Source, SourceEstimate, SourceId, SourceMeta,
     SourceRegistry,
 };
-use wrangler_table::{DataType, Schema, Table, Value};
+use wrangler_table::{DataType, Schema, Table, TableError, Value};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
+use crate::acquire::{Acquisition, AcquisitionSummary};
 use crate::planner::{Plan, SelectionStrategy};
 use crate::working::{Artifact, WorkingData};
 
@@ -75,6 +77,17 @@ pub struct WrangleOutcome {
     pub entities: usize,
     /// Budget spent so far (source access + feedback).
     pub cost_spent: f64,
+    /// Selected sources that could not be acquired and were excluded from
+    /// this result, with the reason (graceful degradation: the result covers
+    /// the surviving subset only).
+    pub skipped_sources: Vec<(SourceId, String)>,
+    /// Sources integrated from degraded payloads (truncated / partially
+    /// corrupted), with what was degraded.
+    pub degraded_sources: Vec<(SourceId, Degradation)>,
+    /// Acquisition attempts the last pass spent (the retry-cost axis).
+    pub acquisition_attempts: u64,
+    /// Virtual ticks the last acquisition pass spent (latency + backoff).
+    pub acquisition_ticks: u64,
 }
 
 /// A wrangling session: context + sources + working data + feedback loop.
@@ -91,6 +104,9 @@ pub struct Wrangler {
     /// How feedback is propagated (Shared is the paper's proposal; Siloed is
     /// the E4 baseline).
     pub routing: RoutingMode,
+    /// The resilient acquisition engine: retry/backoff policy, per-source
+    /// circuit breakers, and the failure-handling mode.
+    pub acquisition: Acquisition,
     target: Schema,
     target_sample: Table,
     registry: SourceRegistry,
@@ -99,6 +115,7 @@ pub struct Wrangler {
     match_cfg: MatchConfig,
     now: u64,
     cache: Option<WrangleCache>,
+    last_acquisition: AcquisitionSummary,
     access_spent: f64,
     fusion_override: Option<wrangler_fusion::Strategy>,
     /// Slot-level constraints from direct value feedback: values the user
@@ -120,6 +137,7 @@ impl Wrangler {
             feedback: FeedbackStore::new(),
             working: WorkingData::new(),
             routing: RoutingMode::Shared,
+            acquisition: Acquisition::default(),
             target,
             target_sample,
             registry: SourceRegistry::new(),
@@ -128,6 +146,7 @@ impl Wrangler {
             match_cfg: MatchConfig::default(),
             now: 0,
             cache: None,
+            last_acquisition: AcquisitionSummary::default(),
             access_spent: 0.0,
             fusion_override: None,
             vetoes: HashMap::new(),
@@ -207,6 +226,30 @@ impl Wrangler {
         self.states[source.0 as usize].trust.probability()
     }
 
+    /// Source by id, as a structured error instead of a panic when the id is
+    /// stale (e.g. a cached selection referring to a re-built registry).
+    fn source(&self, id: SourceId) -> wrangler_table::Result<&Source> {
+        self.registry
+            .get(id)
+            .ok_or_else(|| TableError::Unavailable(format!("{id}: not registered")))
+    }
+
+    /// Attach a seeded fault layer to the fleet (robustness experiments).
+    pub fn inject_faults(&mut self, cfg: &FaultConfig) {
+        self.registry.inject_faults(cfg);
+    }
+
+    /// Override one source's fault profile.
+    pub fn set_fault_profile(&mut self, id: SourceId, profile: FaultProfile) {
+        self.registry.set_fault_profile(id, profile);
+    }
+
+    /// How the last wrangle's acquisition pass went: per-source
+    /// dispositions, skips, degradations, and retry cost.
+    pub fn acquisition_summary(&self) -> &AcquisitionSummary {
+        &self.last_acquisition
+    }
+
     /// Estimate every source's selection-relevant properties from profiling,
     /// master-data coverage and feedback-updated trust. Large sources are
     /// probed on a bounded sample rather than scanned (§4.3 scale
@@ -236,6 +279,7 @@ impl Wrangler {
                 age: self.now.saturating_sub(src.meta.last_updated),
                 cost: src.meta.access_cost,
                 relevance,
+                availability: self.acquisition.availability(i, self.now),
             });
         }
         out
@@ -257,12 +301,69 @@ impl Wrangler {
                 select_greedy_utility(&estimates, &all)
             }
         };
-        self.access_spent = selected
-            .iter()
-            .map(|id| self.registry.get(*id).unwrap().meta.access_cost)
-            .sum();
+        // 2. Acquisition: fallibly fetch every selected source through the
+        // registry's (optional) fault layer under the session's resilience
+        // policy. The pipeline then continues on the surviving subset:
+        // skipped sources are recorded in the outcome and their trust
+        // discounted, degraded payloads are integrated as delivered.
+        let mut report = self
+            .acquisition
+            .acquire_selected(&self.registry, &selected, self.now);
+        let skipped = report.skipped();
+        let degraded = report.degraded();
+        let survivors = report.survivors();
+        let degraded_payloads = std::mem::take(&mut report.degraded_tables);
+        self.last_acquisition = AcquisitionSummary {
+            outcomes: report.outcomes,
+            skipped: skipped.clone(),
+            degraded: degraded.clone(),
+            attempts: report.attempts,
+            ticks: report.ticks,
+        };
+        if let Some(err) = report.aborted {
+            return Err(TableError::Unavailable(format!(
+                "acquisition aborted after {} attempts: {err}",
+                report.attempts
+            )));
+        }
+        for (id, _) in &skipped {
+            // An operational failure is (soft) evidence against the source;
+            // the discount keeps selection from re-picking serial offenders
+            // even after their breaker half-opens.
+            self.states[id.0 as usize]
+                .trust
+                .update(&Evidence::vote(EvidenceKind::Component, false, 0.8).discounted(0.9));
+        }
+        if survivors.is_empty() {
+            // `why` already names the source (AcquireError's Display does).
+            let reasons: Vec<String> = skipped.iter().map(|(_, why)| why.clone()).collect();
+            return Err(TableError::Unavailable(format!(
+                "no sources could be acquired ({} selected, all failed: {})",
+                selected.len(),
+                reasons.join("; ")
+            )));
+        }
+        let selected = survivors;
+        // Degraded payloads are transient: remap them from this delivery and
+        // invalidate the cached artifacts so a later (possibly clean)
+        // acquisition remaps again instead of reusing stale noise.
+        let degraded_tables: HashMap<usize, Table> = degraded_payloads
+            .into_iter()
+            .map(|(id, t)| (id.0 as usize, t))
+            .collect();
+        for &i in degraded_tables.keys() {
+            self.working.invalidate(Artifact::Mapping(i));
+            self.working.invalidate(Artifact::MappedTable(i));
+        }
+        self.access_spent = {
+            let mut total = 0.0;
+            for id in &selected {
+                total += self.source(*id)?.meta.access_cost;
+            }
+            total
+        };
 
-        // 2. Mapping generation + execution per selected source. Generation
+        // 3. Mapping generation + execution per acquired source. Generation
         // (schema matching) is the CPU-heavy step; fan it out across threads.
         let need_mapping: Vec<usize> = selected
             .iter()
@@ -277,23 +378,43 @@ impl Wrangler {
             let ontology = &self.data_ctx.ontology;
             let match_cfg = &self.match_cfg;
             let registry = &self.registry;
+            // Resolve every input table before fanning out: workers then hold
+            // plain references, and a stale id surfaces as a structured error
+            // here instead of a panic inside a worker thread.
+            let inputs: Vec<(usize, &Table)> = need_mapping
+                .iter()
+                .map(|&i| {
+                    let table = match degraded_tables.get(&i) {
+                        Some(t) => t,
+                        None => {
+                            &registry
+                                .get(SourceId(i as u32))
+                                .ok_or_else(|| {
+                                    TableError::Unavailable(format!("src{i}: not registered"))
+                                })?
+                                .table
+                        }
+                    };
+                    Ok((i, table))
+                })
+                .collect::<wrangler_table::Result<_>>()?;
             let generated: Vec<(usize, Mapping)> = std::thread::scope(|scope| {
                 let workers = std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(4)
-                    .min(need_mapping.len());
-                let chunk = need_mapping.len().div_ceil(workers);
-                let handles: Vec<_> = need_mapping
+                    .min(inputs.len());
+                let chunk = inputs.len().div_ceil(workers);
+                let handles: Vec<_> = inputs
                     .chunks(chunk)
-                    .map(|ids| {
+                    .map(|pairs| {
                         scope.spawn(move || {
-                            ids.iter()
-                                .map(|&i| {
-                                    let src = registry.get(SourceId(i as u32)).expect("selected");
+                            pairs
+                                .iter()
+                                .map(|&(i, table)| {
                                     (
                                         i,
                                         generate_mapping(
-                                            &src.table,
+                                            table,
                                             target,
                                             sample,
                                             Some(ontology),
@@ -305,11 +426,16 @@ impl Wrangler {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("no panics in matching"))
-                    .collect()
-            });
+                let mut out = Vec::new();
+                for h in handles {
+                    // A panicking worker becomes a structured error for the
+                    // whole wrangle, not a cascading panic.
+                    out.extend(h.join().map_err(|_| {
+                        TableError::Unavailable("schema-matching worker panicked".into())
+                    })?);
+                }
+                Ok::<_, TableError>(out)
+            })?;
             for (i, mapping) in generated {
                 self.states[i].mapping = Some(mapping);
                 self.states[i].mapped = None;
@@ -317,28 +443,51 @@ impl Wrangler {
                 self.working.mark_clean(Artifact::Mapping(i));
             }
         }
-        for id in &selected {
-            let i = id.0 as usize;
-            if self.states[i].mapped.is_none() || self.working.is_dirty(Artifact::MappedTable(i)) {
-                let src = self.registry.get(*id).unwrap();
-                let mapped = self.states[i].mapping.as_ref().unwrap().apply(&src.table)?;
-                self.states[i].mapped = Some(mapped);
-                self.working.work.tables_mapped += 1;
-                self.working.mark_clean(Artifact::MappedTable(i));
+        {
+            let registry = &self.registry;
+            let states = &mut self.states;
+            let working = &mut self.working;
+            for id in &selected {
+                let i = id.0 as usize;
+                if states[i].mapped.is_none() || working.is_dirty(Artifact::MappedTable(i)) {
+                    let table = match degraded_tables.get(&i) {
+                        Some(t) => t,
+                        None => {
+                            &registry
+                                .get(*id)
+                                .ok_or_else(|| {
+                                    TableError::Unavailable(format!("{id}: not registered"))
+                                })?
+                                .table
+                        }
+                    };
+                    let mapped = {
+                        let mapping = states[i].mapping.as_ref().ok_or_else(|| {
+                            TableError::Invalid(format!("{id}: no mapping available"))
+                        })?;
+                        mapping.apply(table)?
+                    };
+                    states[i].mapped = Some(mapped);
+                    working.work.tables_mapped += 1;
+                    working.mark_clean(Artifact::MappedTable(i));
+                }
             }
         }
 
-        // 3. Union with provenance.
+        // 4. Union with provenance.
         let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
         for id in &selected {
             let i = id.0 as usize;
-            let mapped = self.states[i].mapped.as_ref().expect("mapped above");
+            let mapped = self.states[i]
+                .mapped
+                .as_ref()
+                .ok_or_else(|| TableError::Invalid(format!("{id}: not mapped")))?;
             for row in mapped.iter_rows() {
                 union.push((i, row));
             }
         }
 
-        // 4. Entity resolution over the union.
+        // 5. Entity resolution over the union.
         let union_table = {
             let mut t = Table::empty(self.target.clone());
             for (_, row) in &union {
@@ -370,7 +519,7 @@ impl Wrangler {
         }
         self.working.mark_clean(Artifact::Clusters);
 
-        // 5. Claims + trust.
+        // 6. Claims + trust.
         let mut claims = ClaimSet::new(self.registry.len());
         claims.rel_tol = plan.fusion_tolerance;
         for (r, (src, row)) in union.iter().enumerate() {
@@ -392,7 +541,7 @@ impl Wrangler {
             .collect();
         let source_ctx = SourceContext { trust, age };
 
-        // 6. Fuse every slot (honouring value-level feedback constraints).
+        // 7. Fuse every slot (honouring value-level feedback constraints).
         let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
         for (e, a) in claims.slots() {
             if let Some(f) = self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx) {
@@ -596,13 +745,13 @@ impl Wrangler {
             if sel.is_empty() {
                 0
             } else {
-                sel.iter()
-                    .map(|id| {
-                        self.now
-                            .saturating_sub(self.registry.get(*id).unwrap().meta.last_updated)
-                    })
-                    .sum::<u64>()
-                    / sel.len() as u64
+                let mut total = 0u64;
+                for id in sel {
+                    total += self
+                        .now
+                        .saturating_sub(self.source(*id)?.meta.last_updated);
+                }
+                total / sel.len() as u64
             }
         };
         let relevance =
@@ -639,6 +788,10 @@ impl Wrangler {
             selected_sources: cache.selected.clone(),
             entities: cache.entities,
             cost_spent,
+            skipped_sources: self.last_acquisition.skipped.clone(),
+            degraded_sources: self.last_acquisition.degraded.clone(),
+            acquisition_attempts: self.last_acquisition.attempts,
+            acquisition_ticks: self.last_acquisition.ticks,
         })
     }
 
@@ -1169,11 +1322,14 @@ mod tests {
             1.0,
         ));
         assert!(w.working.is_dirty(Artifact::Mapping(sid.0 as usize)));
-        // Rewrangle falls back to the full path.
+        // Rewrangle falls back to the full path. Structural rework shows up
+        // either as a regenerated mapping for the judged source, or — when
+        // the trust hit is severe enough — as that source being dropped from
+        // the selection entirely.
         let before = w.working.work;
-        let _ = w.rewrangle().unwrap();
+        let out2 = w.rewrangle().unwrap();
         let delta = w.working.work - before;
-        assert!(delta.mappings_generated >= 1);
+        assert!(delta.mappings_generated >= 1 || !out2.selected_sources.contains(&sid));
     }
 
     #[test]
@@ -1285,5 +1441,141 @@ mod tests {
         ));
         let f1 = w.refine_er();
         assert!(f1.is_some());
+    }
+
+    #[test]
+    fn wrangle_completes_on_surviving_subset() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        // Half the fleet hard-down: the resilient default must still deliver.
+        for i in [0u32, 2, 4] {
+            w.set_fault_profile(SourceId(i), FaultProfile::HardDown);
+        }
+        let out = w.wrangle().expect("graceful degradation, not an error");
+        assert!(out.entities > 0);
+        assert!(!out.skipped_sources.is_empty(), "the downed sources skipped");
+        assert!(out
+            .skipped_sources
+            .iter()
+            .all(|(id, _)| [0, 2, 4].contains(&id.0)));
+        assert!(out
+            .selected_sources
+            .iter()
+            .all(|id| ![0u32, 2, 4].contains(&id.0)));
+        assert!(out.acquisition_attempts > out.selected_sources.len() as u64);
+    }
+
+    #[test]
+    fn all_sources_down_is_a_clean_structured_error() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        for i in 0..w.num_sources() {
+            w.set_fault_profile(SourceId(i as u32), FaultProfile::HardDown);
+        }
+        match w.wrangle() {
+            Err(wrangler_table::TableError::Unavailable(msg)) => {
+                assert!(msg.contains("no sources could be acquired"), "{msg}");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_payloads_are_integrated_and_reported() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let healthy = w.wrangle().unwrap();
+        let victim = healthy.selected_sources[0];
+        w.set_fault_profile(victim, FaultProfile::Truncated { keep_fraction: 0.5 });
+        // Force re-selection + re-acquisition.
+        w.working.invalidate(Artifact::Result);
+        w.cache = None;
+        let out = w.wrangle().unwrap();
+        if out.selected_sources.contains(&victim) {
+            assert!(out
+                .degraded_sources
+                .iter()
+                .any(|(id, _)| *id == victim));
+        }
+        assert!(out.entities > 0);
+    }
+
+    #[test]
+    fn abort_mode_turns_any_failure_into_an_error() {
+        use crate::acquire::AcquisitionMode;
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.acquisition.mode = AcquisitionMode::AbortOnFailure;
+        w.set_fault_profile(SourceId(1), FaultProfile::HardDown);
+        // src1 has decent quality in this fleet, so it gets selected; the
+        // naive mode then aborts the whole wrangle.
+        match w.wrangle() {
+            Err(wrangler_table::TableError::Unavailable(msg)) => {
+                assert!(msg.contains("aborted"), "{msg}");
+            }
+            Ok(out) => {
+                // Only acceptable if the downed source was never selected.
+                assert!(!out.selected_sources.contains(&SourceId(1)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_quarantine_feeds_selection_availability() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.set_fault_profile(SourceId(0), FaultProfile::HardDown);
+        let first = w.wrangle().unwrap();
+        let src0_was_tried = first
+            .skipped_sources
+            .iter()
+            .any(|(id, _)| *id == SourceId(0));
+        if src0_was_tried {
+            // Its breaker is now open: selection sees availability 0 and the
+            // next wrangle doesn't waste attempts on it.
+            let est = w.estimates();
+            assert_eq!(est[0].availability, 0.0);
+            w.working.invalidate(Artifact::Result);
+            w.cache = None;
+            let second = w.wrangle().unwrap();
+            assert!(!second.selected_sources.contains(&SourceId(0)));
+            assert!(second
+                .skipped_sources
+                .iter()
+                .all(|(id, _)| *id != SourceId(0)));
+        }
+    }
+
+    #[test]
+    fn acquisition_failures_discount_source_trust() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let before = w.source_trust(SourceId(0));
+        w.set_fault_profile(SourceId(0), FaultProfile::HardDown);
+        let out = w.wrangle().unwrap();
+        if out.skipped_sources.iter().any(|(id, _)| *id == SourceId(0)) {
+            assert!(w.source_trust(SourceId(0)) < before);
+        }
+    }
+
+    #[test]
+    fn faultless_fleet_reports_clean_acquisition() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        assert!(out.skipped_sources.is_empty());
+        assert!(out.degraded_sources.is_empty());
+        assert_eq!(
+            out.acquisition_attempts,
+            out.selected_sources.len() as u64,
+            "one attempt per source, no retries"
+        );
     }
 }

@@ -1,0 +1,104 @@
+//! Property-based tests for the resilient-acquisition layer: laws the
+//! backoff schedule must satisfy for any policy, and determinism of the
+//! whole acquisition engine under a fixed seed.
+
+use proptest::prelude::*;
+use wrangler_core::acquire::{Acquisition, AcquisitionMode, RetryPolicy};
+use wrangler_sources::faults::FaultConfig;
+use wrangler_sources::{FleetConfig, SourceId};
+
+/// Arbitrary-but-sane retry policies, spanning degenerate corners
+/// (base 0, jitter 0/1, multiplier < 1, cap smaller than base).
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        0u64..=16,       // base_backoff (0 exercises the max(1) floor)
+        0.5f64..=4.0,    // multiplier (< 1 exercises the max(1.0) floor)
+        1u64..=64,       // max_backoff
+        0.0f64..=1.0,    // jitter
+        any::<u64>(),    // seed
+    )
+        .prop_map(|(base, mult, cap, jitter, seed)| RetryPolicy {
+            max_attempts: 8,
+            base_backoff: base,
+            multiplier: mult,
+            max_backoff: cap,
+            jitter,
+            seed,
+            attempt_deadline: 8,
+        })
+}
+
+proptest! {
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed(
+        policy in arb_policy(),
+        source in 0u32..200,
+        retries in 0u32..12,
+    ) {
+        let a = policy.backoff_schedule(SourceId(source), retries);
+        let b = policy.backoff_schedule(SourceId(source), retries);
+        prop_assert_eq!(a, b, "same (policy, source) must replay identically");
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_and_bounded(
+        policy in arb_policy(),
+        source in 0u32..200,
+        retries in 1u32..12,
+    ) {
+        let waits = policy.backoff_schedule(SourceId(source), retries);
+        prop_assert_eq!(waits.len(), retries as usize);
+        let cap = policy.max_backoff.max(1);
+        let mut prev = 0u64;
+        for (i, &w) in waits.iter().enumerate() {
+            prop_assert!(w >= 1, "retry {i}: wait {w} below floor");
+            prop_assert!(w <= cap, "retry {i}: wait {w} exceeds cap {cap}");
+            prop_assert!(w >= prev, "retry {i}: wait {w} < previous {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_never_shrinks_the_exponential_floor(
+        source in 0u32..200,
+        retries in 1u32..8,
+    ) {
+        // With jitter, every wait is >= the jitter-free schedule (jitter only
+        // stretches), so total added latency is bounded below by pure
+        // exponential backoff.
+        let jittered = RetryPolicy { jitter: 0.25, ..RetryPolicy::default() };
+        let bare = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let j = jittered.backoff_schedule(SourceId(source), retries);
+        let b = bare.backoff_schedule(SourceId(source), retries);
+        for i in 0..retries as usize {
+            prop_assert!(j[i] >= b[i], "retry {i}: jittered {} < bare {}", j[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn acquisition_engine_is_deterministic(
+        fault_rate in 0.0f64..=0.6,
+        fault_seed in any::<u64>(),
+    ) {
+        // Two engines fed the same faulty fleet must produce byte-identical
+        // reports: dispositions, attempt counts, and virtual-tick totals.
+        let fleet = wrangler_sources::synthetic::generate_fleet(
+            &FleetConfig { num_products: 30, num_sources: 8, now: 10, ..FleetConfig::default() },
+            11,
+        );
+        let ids: Vec<SourceId> = (0..fleet.registry.len()).map(|i| SourceId(i as u32)).collect();
+        let run = || {
+            let mut reg = fleet.registry.clone();
+            reg.inject_faults(&FaultConfig::with_rate(fault_rate, fault_seed));
+            let mut eng = Acquisition::default(); // default mode is Resilient
+            assert!(matches!(eng.mode, AcquisitionMode::Resilient));
+            let report = eng.acquire_selected(&reg, &ids, 10);
+            report
+                .outcomes
+                .iter()
+                .map(|o| format!("{}:{:?}:{}:{}", o.id, o.disposition, o.attempts, o.ticks))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

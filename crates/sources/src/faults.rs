@@ -1,0 +1,619 @@
+//! Deterministic fault injection for the source fleet.
+//!
+//! Real wrangling pipelines acquire data from sources that fail: sites go
+//! down, rate-limit crawlers, time out, or return truncated / garbled
+//! payloads (§2's Variety and Veracity both have an *operational* face the
+//! paper's quality dimensions only see after the fact). This module gives the
+//! synthetic fleet that operational face in a fully **seeded, virtual-time**
+//! way so robustness experiments (E11) are reproducible bit-for-bit:
+//!
+//! * every source carries a [`FaultProfile`];
+//! * acquisition goes through [`SourceRegistry::acquire`], which consults the
+//!   profile at a caller-supplied virtual tick and either yields a
+//!   [`SourceSnapshot`] (possibly degraded) or an [`AcquireError`];
+//! * no wall-clock time is involved anywhere — flapping, rate-limit windows
+//!   and latencies are all functions of the tick, so a retry loop that
+//!   advances its own virtual clock sees exactly the behaviour a live
+//!   acquisition layer would, deterministically.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wrangler_table::Table;
+
+use crate::registry::SourceId;
+use crate::synthetic::corrupt;
+
+/// How a source (mis)behaves when accessed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultProfile {
+    /// Answers every request promptly and intact.
+    Healthy,
+    /// Never answers (site gone, credentials revoked, firewalled).
+    HardDown,
+    /// Alternates availability: up for `up_fraction` of every `period`
+    /// ticks, shifted by `phase`. A retry that waits long enough succeeds.
+    Flap {
+        /// Length of one up/down cycle in ticks.
+        period: u64,
+        /// Fraction of the cycle the source is up, in (0, 1).
+        up_fraction: f64,
+        /// Offset into the cycle, so sources don't flap in lockstep.
+        phase: u64,
+    },
+    /// Answers, but only after `latency` ticks — callers with a tighter
+    /// per-attempt deadline give up first.
+    Slow {
+        /// Ticks before the payload arrives.
+        latency: u64,
+    },
+    /// Answers promptly but delivers only a prefix of its rows.
+    Truncated {
+        /// Fraction of rows delivered, in (0, 1].
+        keep_fraction: f64,
+    },
+    /// Answers promptly but garbles cells on the way out.
+    CorruptRows {
+        /// Per-cell corruption probability, in \[0, 1\].
+        cell_error_rate: f64,
+    },
+    /// Serves at most `max_per_window` requests per `window` ticks, then
+    /// rejects with a retry-after hint until the window rolls over.
+    RateLimited {
+        /// Requests served per window.
+        max_per_window: u32,
+        /// Window length in ticks.
+        window: u64,
+    },
+}
+
+/// Why an acquisition attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcquireError {
+    /// The id does not name a registered source.
+    UnknownSource(SourceId),
+    /// The source did not answer (hard-down, or a flapping source currently
+    /// in its down phase — the caller cannot tell which, just like a client
+    /// of a real endpoint cannot).
+    Unavailable {
+        /// Which source.
+        source: SourceId,
+    },
+    /// The source would have answered, but not within the caller's
+    /// per-attempt deadline.
+    DeadlineExceeded {
+        /// Which source.
+        source: SourceId,
+        /// Ticks the source needed.
+        latency: u64,
+        /// Ticks the caller was willing to wait.
+        deadline: u64,
+    },
+    /// The source's rate limit is exhausted for the current window.
+    RateLimited {
+        /// Which source.
+        source: SourceId,
+        /// Ticks until the window rolls over and requests are served again.
+        retry_after: u64,
+    },
+}
+
+impl AcquireError {
+    /// The source the error concerns.
+    pub fn source(&self) -> SourceId {
+        match self {
+            AcquireError::UnknownSource(s)
+            | AcquireError::Unavailable { source: s }
+            | AcquireError::DeadlineExceeded { source: s, .. }
+            | AcquireError::RateLimited { source: s, .. } => *s,
+        }
+    }
+
+    /// Whether retrying the same request later could possibly succeed.
+    pub fn is_retriable(&self) -> bool {
+        !matches!(self, AcquireError::UnknownSource(_))
+    }
+}
+
+impl fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcquireError::UnknownSource(s) => write!(f, "{s}: no such source"),
+            AcquireError::Unavailable { source } => write!(f, "{source}: unavailable"),
+            AcquireError::DeadlineExceeded {
+                source,
+                latency,
+                deadline,
+            } => write!(
+                f,
+                "{source}: needs {latency} ticks, deadline was {deadline}"
+            ),
+            AcquireError::RateLimited {
+                source,
+                retry_after,
+            } => write!(f, "{source}: rate limited, retry after {retry_after} ticks"),
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+/// How a delivered payload differs from the source's true table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Only a prefix of the rows arrived.
+    Truncated {
+        /// Rows delivered.
+        kept: usize,
+        /// Rows the source actually has.
+        total: usize,
+    },
+    /// Some cells were garbled in transit.
+    CorruptCells {
+        /// Number of cells corrupted.
+        cells: usize,
+    },
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::Truncated { kept, total } => {
+                write!(f, "truncated to {kept}/{total} rows")
+            }
+            Degradation::CorruptCells { cells } => write!(f, "{cells} cells corrupted"),
+        }
+    }
+}
+
+/// A successful acquisition: what arrived and what it cost.
+#[derive(Debug, Clone)]
+pub struct SourceSnapshot {
+    /// Which source answered.
+    pub id: SourceId,
+    /// Virtual ticks the request took.
+    pub latency: u64,
+    /// `Some((how, payload))` when the payload differs from the registry's
+    /// table; `None` means the registry table arrived intact (no copy made).
+    pub degraded: Option<(Degradation, Table)>,
+}
+
+impl SourceSnapshot {
+    /// True if the payload differs from the source's true table.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+}
+
+/// Configuration for assigning fault profiles across a fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Fraction of sources that get a non-healthy profile, in \[0, 1\].
+    pub fault_rate: f64,
+    /// Seed driving both the assignment and all per-request randomness.
+    pub seed: u64,
+    /// Base latency of a healthy answer, in ticks.
+    pub base_latency: u64,
+}
+
+impl FaultConfig {
+    /// A fleet where `fault_rate` of sources are faulty, seeded.
+    pub fn with_rate(fault_rate: f64, seed: u64) -> FaultConfig {
+        FaultConfig {
+            fault_rate,
+            seed,
+            base_latency: 1,
+        }
+    }
+
+    /// Deterministically assign profiles to `n` sources. Faulty sources draw
+    /// uniformly from the six fault families with seeded parameters.
+    pub fn assign(&self, n: usize) -> Vec<FaultProfile> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0x0fa1_7000, 0));
+        (0..n)
+            .map(|_| {
+                // Draw the fault decision and the (potential) profile
+                // unconditionally so a source's profile is identical across
+                // different fault rates under the same seed.
+                let roll: f64 = rng.gen();
+                let profile = random_profile(&mut rng);
+                if roll < self.fault_rate {
+                    profile
+                } else {
+                    FaultProfile::Healthy
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::with_rate(0.2, 17)
+    }
+}
+
+fn random_profile(rng: &mut StdRng) -> FaultProfile {
+    match rng.gen_range(0..6) {
+        0 => FaultProfile::HardDown,
+        1 => FaultProfile::Flap {
+            period: rng.gen_range(6..16),
+            up_fraction: rng.gen_range(0.3..0.7),
+            phase: rng.gen_range(0..8),
+        },
+        2 => FaultProfile::Slow {
+            latency: rng.gen_range(4..24),
+        },
+        3 => FaultProfile::Truncated {
+            keep_fraction: rng.gen_range(0.2..0.8),
+        },
+        4 => FaultProfile::CorruptRows {
+            cell_error_rate: rng.gen_range(0.05..0.3),
+        },
+        _ => FaultProfile::RateLimited {
+            max_per_window: rng.gen_range(1..4),
+            window: rng.gen_range(4..12),
+        },
+    }
+}
+
+/// Per-source rate-limit bookkeeping (the only stateful fault).
+#[derive(Debug, Clone, Copy, Default)]
+struct RateState {
+    window_index: u64,
+    used: u32,
+}
+
+/// The fault layer a registry can carry: one profile per source plus the
+/// mutable rate-limit state. Interior mutability keeps [`acquire`] usable
+/// from `&self` (and hence from the scoped-thread fan-out in the pipeline).
+///
+/// [`acquire`]: crate::registry::SourceRegistry::acquire
+#[derive(Debug)]
+pub struct FaultLayer {
+    profiles: Vec<FaultProfile>,
+    seed: u64,
+    base_latency: u64,
+    rate_state: Mutex<Vec<RateState>>,
+}
+
+impl Clone for FaultLayer {
+    fn clone(&self) -> Self {
+        FaultLayer {
+            profiles: self.profiles.clone(),
+            seed: self.seed,
+            base_latency: self.base_latency,
+            rate_state: Mutex::new(self.rate_state.lock().expect("not poisoned").clone()),
+        }
+    }
+}
+
+impl FaultLayer {
+    /// Build a layer for `n` sources from a fleet-level config.
+    pub fn new(n: usize, cfg: &FaultConfig) -> FaultLayer {
+        FaultLayer::from_profiles(cfg.assign(n), cfg.seed, cfg.base_latency)
+    }
+
+    /// Build a layer from explicit per-source profiles (targeted tests).
+    pub fn from_profiles(profiles: Vec<FaultProfile>, seed: u64, base_latency: u64) -> FaultLayer {
+        let n = profiles.len();
+        FaultLayer {
+            profiles,
+            seed,
+            base_latency,
+            rate_state: Mutex::new(vec![RateState::default(); n]),
+        }
+    }
+
+    /// The profile assigned to a source (Healthy when out of range — sources
+    /// registered after injection behave as healthy).
+    pub fn profile(&self, id: SourceId) -> FaultProfile {
+        self.profiles
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(FaultProfile::Healthy)
+    }
+
+    /// Override one source's profile.
+    pub fn set_profile(&mut self, id: SourceId, profile: FaultProfile) {
+        let i = id.0 as usize;
+        if i >= self.profiles.len() {
+            self.profiles.resize(i + 1, FaultProfile::Healthy);
+            self.rate_state
+                .lock()
+                .expect("not poisoned")
+                .resize(i + 1, RateState::default());
+        }
+        self.profiles[i] = profile;
+    }
+
+    /// Evaluate one acquisition attempt against `table` (the source's true
+    /// payload) at virtual tick `now`, with a per-attempt latency budget of
+    /// `deadline` ticks.
+    pub fn attempt(
+        &self,
+        id: SourceId,
+        table: &Table,
+        now: u64,
+        deadline: u64,
+    ) -> Result<SourceSnapshot, AcquireError> {
+        let healthy = SourceSnapshot {
+            id,
+            latency: self.base_latency,
+            degraded: None,
+        };
+        match self.profile(id) {
+            FaultProfile::Healthy => Ok(healthy),
+            FaultProfile::HardDown => Err(AcquireError::Unavailable { source: id }),
+            FaultProfile::Flap {
+                period,
+                up_fraction,
+                phase,
+            } => {
+                let pos = (now + phase) % period.max(1);
+                if (pos as f64) < up_fraction * period.max(1) as f64 {
+                    Ok(healthy)
+                } else {
+                    Err(AcquireError::Unavailable { source: id })
+                }
+            }
+            FaultProfile::Slow { latency } => {
+                if latency > deadline {
+                    Err(AcquireError::DeadlineExceeded {
+                        source: id,
+                        latency,
+                        deadline,
+                    })
+                } else {
+                    Ok(SourceSnapshot {
+                        id,
+                        latency,
+                        degraded: None,
+                    })
+                }
+            }
+            FaultProfile::Truncated { keep_fraction } => {
+                let total = table.num_rows();
+                let kept = ((total as f64 * keep_fraction).ceil() as usize).min(total);
+                let mut out = Table::empty(table.schema().clone());
+                for r in 0..kept {
+                    out.push_row(table.row(r)).expect("same schema");
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::Truncated { kept, total }, out)),
+                })
+            }
+            FaultProfile::CorruptRows { cell_error_rate } => {
+                // Seed per (layer, source, tick): the same attempt replays
+                // identically; a later retry sees fresh (but still
+                // deterministic) noise.
+                let mut rng = StdRng::seed_from_u64(mix(self.seed, u64::from(id.0), now));
+                let mut out = Table::empty(table.schema().clone());
+                let mut cells = 0usize;
+                for r in 0..table.num_rows() {
+                    let row: Vec<_> = table
+                        .row(r)
+                        .into_iter()
+                        .map(|v| {
+                            if rng.gen_bool(cell_error_rate.clamp(0.0, 1.0)) {
+                                cells += 1;
+                                corrupt(&v, &mut rng)
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
+                    out.push_row(row).expect("same arity");
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::CorruptCells { cells }, out)),
+                })
+            }
+            FaultProfile::RateLimited {
+                max_per_window,
+                window,
+            } => {
+                let window = window.max(1);
+                let wi = now / window;
+                let mut state = self.rate_state.lock().expect("not poisoned");
+                let st = &mut state[id.0 as usize];
+                if st.window_index != wi {
+                    st.window_index = wi;
+                    st.used = 0;
+                }
+                if st.used >= max_per_window {
+                    Err(AcquireError::RateLimited {
+                        source: id,
+                        retry_after: (wi + 1) * window - now,
+                    })
+                } else {
+                    st.used += 1;
+                    Ok(healthy)
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64-style mixing of seed components into one RNG seed.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::{Schema, Value};
+
+    fn table(rows: usize) -> Table {
+        let mut t = Table::empty(Schema::of_strs(&["sku", "price"]));
+        for i in 0..rows {
+            t.push_row(vec![
+                Value::Str(format!("sku{i}")),
+                Value::Float(10.0 + i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn layer(profile: FaultProfile) -> FaultLayer {
+        FaultLayer::from_profiles(vec![profile], 11, 1)
+    }
+
+    #[test]
+    fn healthy_is_intact() {
+        let l = layer(FaultProfile::Healthy);
+        let t = table(4);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        assert!(!s.is_degraded());
+        assert_eq!(s.latency, 1);
+    }
+
+    #[test]
+    fn hard_down_never_answers() {
+        let l = layer(FaultProfile::HardDown);
+        let t = table(4);
+        for now in 0..50 {
+            assert!(matches!(
+                l.attempt(SourceId(0), &t, now, 8),
+                Err(AcquireError::Unavailable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn flap_recovers_within_a_period() {
+        let l = layer(FaultProfile::Flap {
+            period: 10,
+            up_fraction: 0.5,
+            phase: 0,
+        });
+        let t = table(4);
+        let up: Vec<bool> = (0..20)
+            .map(|now| l.attempt(SourceId(0), &t, now, 8).is_ok())
+            .collect();
+        assert!(up.iter().any(|&b| b) && up.iter().any(|&b| !b));
+        // Periodic: tick t and t+10 agree.
+        for now in 0..10 {
+            assert_eq!(up[now], up[now + 10]);
+        }
+    }
+
+    #[test]
+    fn slow_respects_deadline() {
+        let l = layer(FaultProfile::Slow { latency: 12 });
+        let t = table(4);
+        assert!(matches!(
+            l.attempt(SourceId(0), &t, 0, 8),
+            Err(AcquireError::DeadlineExceeded { latency: 12, .. })
+        ));
+        let s = l.attempt(SourceId(0), &t, 0, 16).unwrap();
+        assert_eq!(s.latency, 12);
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let l = layer(FaultProfile::Truncated { keep_fraction: 0.5 });
+        let t = table(10);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        assert_eq!(d, Degradation::Truncated { kept: 5, total: 10 });
+        assert_eq!(payload.num_rows(), 5);
+        assert_eq!(payload.row(0), t.row(0));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_tick() {
+        let l = layer(FaultProfile::CorruptRows {
+            cell_error_rate: 0.5,
+        });
+        let t = table(20);
+        let a = l.attempt(SourceId(0), &t, 3, 8).unwrap();
+        let b = l.attempt(SourceId(0), &t, 3, 8).unwrap();
+        let (da, ta) = a.degraded.unwrap();
+        let (db, tb) = b.degraded.unwrap();
+        assert_eq!(da, db);
+        for r in 0..ta.num_rows() {
+            assert_eq!(ta.row(r), tb.row(r));
+        }
+        // A different tick draws different noise (overwhelmingly likely at
+        // this rate and size).
+        let c = l.attempt(SourceId(0), &t, 4, 8).unwrap();
+        let (dc, _) = c.degraded.unwrap();
+        assert!(matches!(dc, Degradation::CorruptCells { .. }));
+    }
+
+    #[test]
+    fn rate_limit_exhausts_and_rolls_over() {
+        let l = layer(FaultProfile::RateLimited {
+            max_per_window: 2,
+            window: 10,
+        });
+        let t = table(4);
+        assert!(l.attempt(SourceId(0), &t, 0, 8).is_ok());
+        assert!(l.attempt(SourceId(0), &t, 1, 8).is_ok());
+        match l.attempt(SourceId(0), &t, 2, 8) {
+            Err(AcquireError::RateLimited { retry_after, .. }) => assert_eq!(retry_after, 8),
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        // Next window serves again.
+        assert!(l.attempt(SourceId(0), &t, 10, 8).is_ok());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_rate_scaled() {
+        let cfg = FaultConfig::with_rate(0.5, 42);
+        let a = cfg.assign(100);
+        let b = cfg.assign(100);
+        assert_eq!(a, b);
+        let faulty = a.iter().filter(|p| **p != FaultProfile::Healthy).count();
+        assert!((30..=70).contains(&faulty), "got {faulty} faulty of 100");
+        // Zero rate means all healthy; full rate means none healthy.
+        assert!(FaultConfig::with_rate(0.0, 42)
+            .assign(50)
+            .iter()
+            .all(|p| *p == FaultProfile::Healthy));
+        assert!(FaultConfig::with_rate(1.0, 42)
+            .assign(50)
+            .iter()
+            .all(|p| *p != FaultProfile::Healthy));
+    }
+
+    #[test]
+    fn profiles_nest_across_rates() {
+        // A source faulty at rate r stays faulty (same profile) at r' > r.
+        let lo = FaultConfig::with_rate(0.2, 9).assign(60);
+        let hi = FaultConfig::with_rate(0.6, 9).assign(60);
+        for (a, b) in lo.iter().zip(hi.iter()) {
+            if *a != FaultProfile::Healthy {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_and_helpers() {
+        let e = AcquireError::RateLimited {
+            source: SourceId(3),
+            retry_after: 5,
+        };
+        assert!(e.to_string().contains("src3"));
+        assert!(e.is_retriable());
+        assert_eq!(e.source(), SourceId(3));
+        assert!(!AcquireError::UnknownSource(SourceId(1)).is_retriable());
+    }
+}

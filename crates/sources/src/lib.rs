@@ -20,12 +20,16 @@
 //! integrating sources when the marginal quality gain no longer pays for the
 //! marginal cost.
 
+pub mod faults;
 pub mod locations;
 pub mod probe;
 pub mod registry;
 pub mod selection;
 pub mod synthetic;
 
+pub use faults::{
+    AcquireError, Degradation, FaultConfig, FaultLayer, FaultProfile, SourceSnapshot,
+};
 pub use probe::{probe_source, ProbeConfig, ProbeResult};
 pub use registry::{Source, SourceId, SourceMeta, SourceRegistry};
 pub use selection::{select_greedy_utility, select_marginal_gain, SourceEstimate};

@@ -4,6 +4,8 @@ use std::fmt;
 
 use wrangler_table::Table;
 
+use crate::faults::{AcquireError, FaultConfig, FaultLayer, FaultProfile, SourceSnapshot};
+
 /// Stable identifier of a data source within a wrangling session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceId(pub u32);
@@ -49,9 +51,15 @@ pub struct Source {
 }
 
 /// The set of sources available to a wrangling session.
+///
+/// Reads go through either [`get`](SourceRegistry::get) (infallible, used by
+/// stages that already hold an acquired payload) or the fallible
+/// [`acquire`](SourceRegistry::acquire) access path, which consults the
+/// optional fault layer and is what a resilient acquisition loop drives.
 #[derive(Debug, Clone, Default)]
 pub struct SourceRegistry {
     sources: Vec<Source>,
+    faults: Option<FaultLayer>,
 }
 
 impl SourceRegistry {
@@ -107,6 +115,69 @@ impl SourceRegistry {
     pub fn ids(&self) -> Vec<SourceId> {
         self.sources.iter().map(|s| s.meta.id).collect()
     }
+
+    /// Attach a fault layer, assigning seeded profiles across the current
+    /// fleet. Replaces any previous layer.
+    pub fn inject_faults(&mut self, cfg: &FaultConfig) {
+        self.faults = Some(FaultLayer::new(self.sources.len(), cfg));
+    }
+
+    /// Attach a fault layer with explicit per-source profiles.
+    pub fn inject_fault_profiles(&mut self, profiles: Vec<FaultProfile>, seed: u64) {
+        self.faults = Some(FaultLayer::from_profiles(profiles, seed, 1));
+    }
+
+    /// Override a single source's fault profile (installing a fault layer of
+    /// healthy sources first if none exists).
+    pub fn set_fault_profile(&mut self, id: SourceId, profile: FaultProfile) {
+        let layer = self.faults.get_or_insert_with(|| {
+            FaultLayer::from_profiles(vec![FaultProfile::Healthy; self.sources.len()], 0, 1)
+        });
+        layer.set_profile(id, profile);
+    }
+
+    /// Remove the fault layer: every acquisition succeeds again.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The fault profile of a source (`Healthy` when no layer is attached).
+    pub fn fault_profile(&self, id: SourceId) -> FaultProfile {
+        self.faults
+            .as_ref()
+            .map(|l| l.profile(id))
+            .unwrap_or(FaultProfile::Healthy)
+    }
+
+    /// True if a fault layer is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Fallible acquisition of a source's payload at virtual tick `now`,
+    /// tolerating at most `deadline` ticks of latency for this attempt.
+    ///
+    /// Without a fault layer this always succeeds with the registry table
+    /// intact at unit latency; with one, the source's [`FaultProfile`]
+    /// decides. The returned snapshot borrows nothing: a degraded payload is
+    /// materialized, an intact one is signalled by `degraded: None` so the
+    /// caller keeps using the registry's table without a copy.
+    pub fn acquire(
+        &self,
+        id: SourceId,
+        now: u64,
+        deadline: u64,
+    ) -> Result<SourceSnapshot, AcquireError> {
+        let src = self.get(id).ok_or(AcquireError::UnknownSource(id))?;
+        match &self.faults {
+            None => Ok(SourceSnapshot {
+                id,
+                latency: 1,
+                degraded: None,
+            }),
+            Some(layer) => layer.attempt(id, &src.table, now, deadline),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +216,29 @@ mod tests {
     #[test]
     fn display_of_source_id() {
         assert_eq!(SourceId(3).to_string(), "src3");
+    }
+
+    #[test]
+    fn acquire_without_faults_always_succeeds() {
+        let mut reg = SourceRegistry::new();
+        let a = reg.register("siteA", Table::empty(Schema::of_strs(&["x"])));
+        let s = reg.acquire(a, 0, 8).unwrap();
+        assert!(!s.is_degraded());
+        assert!(matches!(
+            reg.acquire(SourceId(9), 0, 8),
+            Err(crate::faults::AcquireError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn acquire_respects_injected_profile() {
+        let mut reg = SourceRegistry::new();
+        let a = reg.register("siteA", Table::empty(Schema::of_strs(&["x"])));
+        let b = reg.register("siteB", Table::empty(Schema::of_strs(&["x"])));
+        reg.set_fault_profile(a, crate::faults::FaultProfile::HardDown);
+        assert!(reg.acquire(a, 0, 8).is_err());
+        assert!(reg.acquire(b, 0, 8).is_ok());
+        reg.clear_faults();
+        assert!(reg.acquire(a, 0, 8).is_ok());
     }
 }

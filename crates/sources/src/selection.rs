@@ -32,12 +32,25 @@ pub struct SourceEstimate {
     pub cost: f64,
     /// Relevance to the data context in \[0, 1\].
     pub relevance: f64,
+    /// Operational availability in \[0, 1\]: 1 for a source believed healthy,
+    /// 0 for one currently quarantined by the acquisition layer's circuit
+    /// breaker, in between for sources on probation (half-open breaker).
+    /// Selection discounts expected coverage by it — an excellent source that
+    /// cannot be reached contributes nothing.
+    pub availability: f64,
+}
+
+impl SourceEstimate {
+    /// Coverage discounted by the probability the source answers at all.
+    fn effective_coverage(&self) -> f64 {
+        (self.coverage * self.availability).clamp(0.0, 1.0)
+    }
 }
 
 /// Quality vector of a *single* source estimate under the user context.
 pub fn estimate_quality(est: &SourceEstimate, user: &UserContext) -> QualityVector {
     QualityVector::neutral()
-        .with(Criterion::Completeness, est.coverage)
+        .with(Criterion::Completeness, est.effective_coverage())
         .with(Criterion::Accuracy, est.accuracy)
         .with(Criterion::Timeliness, user.timeliness_of_age(est.age))
         .with(Criterion::Consistency, est.accuracy) // proxy: error-free data is self-consistent
@@ -54,12 +67,13 @@ fn cost_score(cost: f64, user: &UserContext) -> f64 {
 }
 
 /// Greedy per-source utility selection: rank by utility, keep the prefix that
-/// fits the budget and the source cap. Irrelevant sources (relevance 0) are
-/// excluded outright.
+/// fits the budget and the source cap. Irrelevant sources (relevance 0) and
+/// unreachable sources (availability 0, i.e. quarantined) are excluded
+/// outright.
 pub fn select_greedy_utility(estimates: &[SourceEstimate], user: &UserContext) -> Vec<SourceId> {
     let mut scored: Vec<(f64, &SourceEstimate)> = estimates
         .iter()
-        .filter(|e| e.relevance > 0.0)
+        .filter(|e| e.relevance > 0.0 && e.availability > 0.0)
         .map(|e| (user.utility(&estimate_quality(e, user)), e))
         .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -98,8 +112,8 @@ pub fn set_quality(set: &[&SourceEstimate], user: &UserContext) -> QualityVector
     let mut wsum = 0.0;
     let mut cost = 0.0;
     for e in set {
-        miss *= 1.0 - e.coverage.clamp(0.0, 1.0);
-        let w = e.coverage.max(1e-9);
+        miss *= 1.0 - e.effective_coverage();
+        let w = e.effective_coverage().max(1e-9);
         wacc += w * e.accuracy;
         wtim += w * user.timeliness_of_age(e.age);
         wrel += w * e.relevance;
@@ -187,6 +201,7 @@ mod tests {
             age: 0,
             cost,
             relevance: 1.0,
+            availability: 1.0,
         }
     }
 
@@ -211,6 +226,28 @@ mod tests {
         e.relevance = 0.0;
         let sel = select_greedy_utility(&[e, est(1, 0.5, 0.5, 1.0)], &UserContext::balanced("t"));
         assert_eq!(sel, vec![SourceId(1)]);
+    }
+
+    #[test]
+    fn greedy_excludes_quarantined() {
+        let mut e = est(0, 0.9, 0.9, 1.0);
+        e.availability = 0.0;
+        let sel = select_greedy_utility(&[e, est(1, 0.5, 0.5, 1.0)], &UserContext::balanced("t"));
+        assert_eq!(sel, vec![SourceId(1)]);
+    }
+
+    #[test]
+    fn availability_discounts_set_coverage() {
+        let healthy = est(0, 0.8, 0.9, 0.0);
+        let mut shaky = est(0, 0.8, 0.9, 0.0);
+        shaky.availability = 0.5;
+        let user = UserContext::balanced("t");
+        let q_healthy = set_quality(&[&healthy], &user);
+        let q_shaky = set_quality(&[&shaky], &user);
+        assert!(
+            q_shaky.get(Criterion::Completeness) < q_healthy.get(Criterion::Completeness),
+            "a flaky source promises less coverage"
+        );
     }
 
     #[test]

@@ -355,7 +355,7 @@ fn derive_source_table(
 }
 
 /// Corrupt one value (veracity injection).
-fn corrupt(v: &Value, rng: &mut StdRng) -> Value {
+pub(crate) fn corrupt(v: &Value, rng: &mut StdRng) -> Value {
     match v {
         Value::Float(f) => match rng.gen_range(0..3) {
             // Decimal-point error: off by 10x.

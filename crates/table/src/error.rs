@@ -22,6 +22,9 @@ pub enum TableError {
     DuplicateColumn(String),
     /// Any other invariant violation, with a description.
     Invalid(String),
+    /// A required upstream resource (e.g. a data source) could not be
+    /// acquired. Carries a human-readable account of what failed and why.
+    Unavailable(String),
 }
 
 impl fmt::Display for TableError {
@@ -42,6 +45,7 @@ impl fmt::Display for TableError {
             TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             TableError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
             TableError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            TableError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

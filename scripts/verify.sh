@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local verification: what CI runs, in the same order.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package — tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (full suite)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> e11 determinism (two runs must be byte-identical)"
+tmp_a=$(mktemp) && tmp_b=$(mktemp)
+trap 'rm -f "$tmp_a" "$tmp_b"' EXIT
+./target/release/e11_robustness > "$tmp_a"
+./target/release/e11_robustness > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
+echo "verify: all green"

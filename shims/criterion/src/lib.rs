@@ -1,0 +1,207 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass followed by a
+//! fixed number of timed samples, reporting the per-iteration median and
+//! min on stdout. It has none of criterion's statistics, baselines or
+//! HTML reports, but it keeps every bench target compiling and runnable
+//! offline, and the relative numbers are still useful for spotting
+//! order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (subset of `criterion::BatchSize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Re-export of `std::hint::black_box` for parity with criterion.
+pub use std::hint::black_box;
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Soft cap on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        let mut per_iter: Vec<f64> = b.samples;
+        if per_iter.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        println!(
+            "{name:<40} median {:>12}  min {:>12}  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timer handed to each benchmark body (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, amortizing over enough iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit ~1ms?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as f64;
+        let iters = ((1_000_000.0 / once).ceil() as u64).clamp(1, 10_000);
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn...)` or the
+/// struct form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        c.bench_function("demo/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("demo/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = unit_group;
+        config = Criterion::default().sample_size(3).measurement_time(std::time::Duration::from_millis(20));
+        targets = bench_demo
+    }
+
+    #[test]
+    fn group_runs() {
+        unit_group();
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(1.2e4).ends_with("µs"));
+        assert!(fmt_ns(3.4e6).ends_with("ms"));
+        assert!(fmt_ns(5.6e9).ends_with("s"));
+    }
+}

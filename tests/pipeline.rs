@@ -1,7 +1,7 @@
 //! Integration tests: the full pipeline across crates, on seeded synthetic
 //! fleets. These assert the *shape* results documented in EXPERIMENTS.md.
 
-use data_wrangler::core::baseline::{ManualEtl, SourceSpec};
+use data_wrangler::core::baseline::ManualEtl;
 use data_wrangler::core::eval::score_against_truth;
 use data_wrangler::prelude::*;
 use data_wrangler::sources::synthetic::generate_fleet;
