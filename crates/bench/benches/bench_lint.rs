@@ -1,0 +1,55 @@
+//! Static-analysis benchmarks: the pre-flight gate must stay cheap relative
+//! to mapping execution, or nobody will leave it on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wrangler_bench::{default_fleet_config, fleet, target_sample};
+use wrangler_context::Ontology;
+use wrangler_lint::{check_mapping, check_predicate, preflight, PlanStep};
+use wrangler_mapping::generate_mapping;
+use wrangler_match::MatchConfig;
+use wrangler_sources::SourceId;
+use wrangler_table::{DataType, Expr};
+
+fn bench_lint(c: &mut Criterion) {
+    let cfg = default_fleet_config();
+    let f = fleet(&cfg, 3);
+    let sample = target_sample(&f);
+    let source = &f.registry.get(SourceId(0)).unwrap().table;
+    let ont = Ontology::ecommerce();
+    let mapping = generate_mapping(
+        source,
+        sample.schema(),
+        &sample,
+        Some(&ont),
+        &MatchConfig::default(),
+    );
+    let steps = vec![
+        PlanStep::deterministic("selection"),
+        PlanStep::deterministic("mapping-generation")
+            .with_randomness(true)
+            .with_parallelism(true),
+        PlanStep::deterministic("fusion").with_hash_iteration(true),
+    ];
+    let predicate = Expr::col("price")
+        .cast(DataType::Float)
+        .gt(Expr::lit(10.0))
+        .and(Expr::col("brand").is_null().not());
+
+    c.bench_function("lint/check_mapping", |b| {
+        b.iter(|| black_box(check_mapping(&mapping, source.schema()).len()))
+    });
+    c.bench_function("lint/check_predicate", |b| {
+        b.iter(|| black_box(check_predicate(&predicate, sample.schema()).len()))
+    });
+    c.bench_function("lint/preflight", |b| {
+        b.iter(|| black_box(preflight(&mapping, source.schema(), &steps).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_lint
+}
+criterion_main!(benches);

@@ -34,19 +34,19 @@ pub fn target_sample(fleet: &SyntheticFleet) -> Table {
     let catalog = fleet.truth.master_catalog();
     let mut fields = catalog.schema().fields().to_vec();
     fields.push(wrangler_table::Field::new("price", DataType::Float));
-    let schema = Schema::new(fields).expect("unique names");
+    let schema = Schema::new(fields).expect("unique names"); // lint-allow: fixture fields are literal and unique
     let mut columns: Vec<Vec<Value>> = (0..catalog.num_columns())
-        .map(|i| catalog.column(i).unwrap().to_vec())
+        .map(|i| catalog.column(i).unwrap().to_vec()) // lint-allow: indices come from the catalog itself
         .collect();
     columns.push(vec![Value::Null; catalog.num_rows()]);
-    Table::from_columns(schema, columns).expect("aligned")
+    Table::from_columns(schema, columns).expect("aligned") // lint-allow: columns sliced from one catalog, same length
 }
 
 /// Build a ready-to-run wrangling session over a fleet.
 pub fn session(fleet: &SyntheticFleet, user: UserContext) -> Wrangler {
     let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
     ctx.add_master("product", fleet.truth.master_catalog(), "sku")
-        .expect("catalog keyed by sku");
+        .expect("catalog keyed by sku"); // lint-allow: fixture catalog always carries a sku column
     let mut w = Wrangler::new(user, ctx, target_sample(fleet));
     w.set_now(fleet.truth.now);
     for s in fleet.registry.iter() {

@@ -122,7 +122,7 @@ impl ManualEtl {
                 let row: Vec<Value> = row_exprs
                     .iter()
                     .map(|c| {
-                        c.map(|c| src.get(r, c).expect("in bounds").clone())
+                        c.map(|c| src.get(r, c).expect("in bounds").clone()) // lint-allow: spec columns validated against src above
                             .unwrap_or(Value::Null)
                     })
                     .collect();
@@ -134,7 +134,7 @@ impl ManualEtl {
         let mut seen = std::collections::HashSet::new();
         let keep: Vec<bool> = (0..out.num_rows())
             .map(|i| {
-                let k = out.get_named(i, &key).expect("in bounds").clone();
+                let k = out.get_named(i, &key).expect("in bounds").clone(); // lint-allow: key column projected into out by this function
                 if k.is_null() {
                     return false;
                 }

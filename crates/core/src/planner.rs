@@ -9,6 +9,7 @@
 
 use wrangler_context::{Criterion, UserContext};
 use wrangler_fusion::Strategy;
+use wrangler_lint::PlanStep;
 
 /// How sources are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,26 @@ impl Plan {
             fusion_tolerance: 0.002,
         }
     }
+
+    /// Describe the pipeline this plan drives as neutral [`PlanStep`]s for
+    /// the determinism audit (`wrangler_lint::audit_steps`).
+    ///
+    /// The traits stated here are claims about the implementation in
+    /// `Wrangler::wrangle`: selection sorts estimates by (gain, id);
+    /// acquisition retries on a simulated clock; mapping generation fans out
+    /// per source but merges by source index; blocking and fusion group via
+    /// ordered maps. The audit holds the description to account — if a step
+    /// regresses (say, a `HashMap` iteration leaks into output order), the
+    /// honest fix is to flip the trait here and watch the gate object.
+    pub fn describe(&self) -> Vec<PlanStep> {
+        vec![
+            PlanStep::deterministic("source-selection"),
+            PlanStep::deterministic("acquisition"),
+            PlanStep::deterministic("mapping-generation").with_parallelism(true),
+            PlanStep::deterministic("entity-resolution").with_hash_iteration(true),
+            PlanStep::deterministic("fusion").with_hash_iteration(true),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +136,15 @@ mod tests {
             Strategy::TrustAndFreshness { half_life } => assert!((half_life - 4.0).abs() < 1e-12),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn described_plan_audits_clean() {
+        let plan = Plan::derive(&UserContext::balanced("x"));
+        let steps = plan.describe();
+        assert!(steps.len() >= 4);
+        let report = wrangler_lint::audit_steps(&steps);
+        assert!(report.is_empty(), "{report:?}");
     }
 
     #[test]

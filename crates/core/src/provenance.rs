@@ -97,6 +97,41 @@ pub fn acquisition_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
     Ok(out)
 }
 
+/// Columns of the lint-provenance table.
+pub const LINT_COLUMNS: [&str; 6] = [
+    "origin",
+    "code",
+    "severity",
+    "component",
+    "locus",
+    "message",
+];
+
+/// Materialize the last wrangle's pre-flight static-analysis findings as a
+/// table: one row per diagnostic, labelled with its origin (`plan` or the
+/// source it concerns). Execution decisions become data, like the rest of
+/// the lineage: a downstream consumer can ask *why a wrangle was refused* or
+/// *which warnings a delivered table shipped with*. Empty when the gate is
+/// off, before the first wrangle, or when everything was clean.
+pub fn lint_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
+    let schema = Schema::of_strs(&LINT_COLUMNS);
+    let mut out = Table::empty(schema);
+    for (origin, report) in wrangler.lint_findings() {
+        for d in report.diagnostics() {
+            out.push_row(vec![
+                Value::from(origin.clone()),
+                Value::from(d.code.to_string()),
+                Value::from(d.severity.to_string()),
+                Value::from(d.component.to_string()),
+                Value::from(d.locus.to_string()),
+                Value::from(d.message.clone()),
+            ])?;
+        }
+    }
+    out.reinfer_types();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +174,41 @@ mod tests {
         let w = session();
         assert_eq!(provenance_table(&w).unwrap().num_rows(), 0);
         assert_eq!(acquisition_table(&w).unwrap().num_rows(), 0);
+        assert_eq!(lint_table(&w).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn lint_lineage_reflects_preflight_findings() {
+        let mut w = session();
+        let out = w.wrangle().unwrap();
+        let clean = lint_table(&w).unwrap();
+        assert_eq!(clean.schema().names(), LINT_COLUMNS.to_vec());
+        // Clean pipeline: anything recorded is advisory, never error-grade.
+        for v in clean.column_named("severity").unwrap() {
+            assert_ne!(v.as_str(), Some("error"));
+        }
+        // Corrupt one mapping: the refused wrangle leaves its reasons behind
+        // as queryable lineage.
+        let victim = out.selected_sources[0];
+        let mut bad = w.mapping_of(victim).unwrap().clone();
+        *bad.bindings
+            .iter_mut()
+            .find(|b| b.is_some())
+            .expect("some binding") = Some(999);
+        assert!(w.override_mapping(victim, bad));
+        assert!(w.wrangle().is_err());
+        let lt = lint_table(&w).unwrap();
+        let errors = ops::filter(
+            &lt,
+            &Expr::col("severity").eq(Expr::lit("error".to_string())),
+        )
+        .unwrap();
+        assert!(errors.num_rows() > 0);
+        assert!(errors
+            .column_named("code")
+            .unwrap()
+            .iter()
+            .any(|v| v.as_str() == Some("L001")));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The end-to-end wrangling session.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap}; // hash-ok: HashMap here is lookup-only (slot/feedback state); nothing iterates it into output
 
 use wrangler_context::{Criterion, DataContext, QualityVector, UserContext};
 use wrangler_feedback::router::ValueProvenance;
@@ -10,6 +10,7 @@ use wrangler_feedback::{
 use wrangler_fusion::strategies::{fuse_attribute, FusedValue, SourceContext};
 use wrangler_fusion::truthfinder::{truthfinder, TruthFinderConfig};
 use wrangler_fusion::ClaimSet;
+use wrangler_lint::{GateMode, Report as LintReport};
 use wrangler_mapping::{generate_mapping, Mapping};
 use wrangler_match::MatchConfig;
 use wrangler_quality::profile::{quality_vector, ExternalSignals, TableProfile};
@@ -57,7 +58,7 @@ struct WrangleCache {
     /// Source trust/age context used at fusion time.
     source_ctx: SourceContext,
     /// Fused slots.
-    fused: HashMap<(usize, usize), FusedValue>,
+    fused: HashMap<(usize, usize), FusedValue>, // hash-ok: keyed by slot, read via get()
     /// Selected sources.
     selected: Vec<SourceId>,
 }
@@ -88,6 +89,10 @@ pub struct WrangleOutcome {
     pub acquisition_attempts: u64,
     /// Virtual ticks the last acquisition pass spent (latency + backoff).
     pub acquisition_ticks: u64,
+    /// Pre-flight static-analysis findings for this wrangle (merged across
+    /// mappings and the plan audit); empty when the gate is off or everything
+    /// was clean.
+    pub lint: LintReport,
 }
 
 /// A wrangling session: context + sources + working data + feedback loop.
@@ -120,8 +125,15 @@ pub struct Wrangler {
     fusion_override: Option<wrangler_fusion::Strategy>,
     /// Slot-level constraints from direct value feedback: values the user
     /// refuted (never deliver again) and values the user confirmed (pin).
-    vetoes: HashMap<(usize, usize), Vec<Value>>,
-    confirmations: HashMap<(usize, usize), Value>,
+    vetoes: HashMap<(usize, usize), Vec<Value>>, // hash-ok: point lookups only
+    confirmations: HashMap<(usize, usize), Value>, // hash-ok: point lookups only
+    /// Pre-flight gate mode: `Deny` (default) refuses to execute artifacts
+    /// with error-grade findings, `Warn` records and proceeds, `Off` skips
+    /// analysis entirely.
+    lint_gate: GateMode,
+    /// Findings of the last pre-flight pass, labelled by origin (`"plan"` or
+    /// `"src{i}"`), kept for provenance export.
+    last_lint: Vec<(String, LintReport)>,
 }
 
 impl Wrangler {
@@ -149,8 +161,10 @@ impl Wrangler {
             last_acquisition: AcquisitionSummary::default(),
             access_spent: 0.0,
             fusion_override: None,
-            vetoes: HashMap::new(),
-            confirmations: HashMap::new(),
+            vetoes: HashMap::new(), // hash-ok: see field declaration
+            confirmations: HashMap::new(), // hash-ok: see field declaration
+            lint_gate: GateMode::default(),
+            last_lint: Vec::new(),
         }
     }
 
@@ -166,9 +180,61 @@ impl Wrangler {
         self
     }
 
+    /// Set the pre-flight static-analysis gate mode (default: `Deny`).
+    pub fn with_lint_gate(mut self, mode: GateMode) -> Wrangler {
+        self.lint_gate = mode;
+        self
+    }
+
+    /// The current pre-flight gate mode.
+    pub fn lint_gate(&self) -> GateMode {
+        self.lint_gate
+    }
+
+    /// Findings of the last pre-flight pass, labelled by origin (`"plan"` or
+    /// `"src{i}"`).
+    pub fn lint_findings(&self) -> &[(String, LintReport)] {
+        &self.last_lint
+    }
+
+    /// The last pre-flight findings merged into a single canonical report.
+    pub fn lint_report(&self) -> LintReport {
+        let mut merged = LintReport::new();
+        for (_, r) in &self.last_lint {
+            merged.merge(r.clone());
+        }
+        merged.canonicalize();
+        merged
+    }
+
     /// Set the current tick (for timeliness computations).
     pub fn set_now(&mut self, tick: u64) {
         self.now = tick;
+    }
+
+    /// The current mapping for a source, if one has been generated or
+    /// installed.
+    pub fn mapping_of(&self, id: SourceId) -> Option<&Mapping> {
+        self.states.get(id.0 as usize)?.mapping.as_ref()
+    }
+
+    /// Install a hand-authored (or corrected) mapping for a source,
+    /// overriding the generated one. The mapping is treated as clean — the
+    /// next wrangle will not regenerate it — but the mapped table is
+    /// invalidated so execution (and the pre-flight gate) see the new
+    /// artifact. Returns false if the source is unknown.
+    pub fn override_mapping(&mut self, id: SourceId, mapping: Mapping) -> bool {
+        let i = id.0 as usize;
+        let Some(state) = self.states.get_mut(i) else {
+            return false;
+        };
+        state.mapping = Some(mapping);
+        state.mapped = None;
+        self.working.mark_clean(Artifact::Mapping(i));
+        self.working.invalidate(Artifact::MappedTable(i));
+        self.working.invalidate(Artifact::Clusters);
+        self.working.invalidate(Artifact::Result);
+        true
     }
 
     /// Switch the user context mid-session (§2.1: "a single application may
@@ -347,7 +413,7 @@ impl Wrangler {
         // Degraded payloads are transient: remap them from this delivery and
         // invalidate the cached artifacts so a later (possibly clean)
         // acquisition remaps again instead of reusing stale noise.
-        let degraded_tables: HashMap<usize, Table> = degraded_payloads
+        let degraded_tables: BTreeMap<usize, Table> = degraded_payloads
             .into_iter()
             .map(|(id, t)| (id.0 as usize, t))
             .collect();
@@ -441,6 +507,51 @@ impl Wrangler {
                 self.states[i].mapped = None;
                 self.working.work.mappings_generated += 1;
                 self.working.mark_clean(Artifact::Mapping(i));
+            }
+        }
+
+        // 3b. Pre-flight static analysis: lint every (mapping, source schema)
+        // pair plus the plan's determinism description *before* any mapping
+        // executes. Under `Deny`, error-grade findings abort here with a
+        // structured error instead of surfacing mid-run (or never).
+        self.last_lint.clear();
+        if self.lint_gate != GateMode::Off {
+            let audit = wrangler_lint::audit_steps(&plan.describe());
+            if !audit.is_empty() {
+                self.last_lint.push(("plan".to_string(), audit));
+            }
+            for id in &selected {
+                let i = id.0 as usize;
+                let table = match degraded_tables.get(&i) {
+                    Some(t) => t,
+                    None => {
+                        &self
+                            .registry
+                            .get(*id)
+                            .ok_or_else(|| TableError::Unavailable(format!("{id}: not registered")))?
+                            .table
+                    }
+                };
+                let mapping = self.states[i]
+                    .mapping
+                    .as_ref()
+                    .ok_or_else(|| TableError::Invalid(format!("{id}: no mapping available")))?;
+                let report = wrangler_lint::check_mapping(mapping, table.schema());
+                if !report.is_empty() {
+                    self.last_lint.push((format!("src{i}"), report));
+                }
+            }
+            let merged = self.lint_report();
+            if merged.blocks(self.lint_gate) {
+                let first = merged
+                    .errors()
+                    .next()
+                    .map(|d| d.to_string())
+                    .unwrap_or_default();
+                return Err(TableError::Invalid(format!(
+                    "pre-flight lint rejected the wrangle ({}): {first}",
+                    merged.summary()
+                )));
             }
         }
         {
@@ -542,6 +653,7 @@ impl Wrangler {
         let source_ctx = SourceContext { trust, age };
 
         // 7. Fuse every slot (honouring value-level feedback constraints).
+        // hash-ok: populated per sorted slot, consumed via get()
         let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
         for (e, a) in claims.slots() {
             if let Some(f) = self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx) {
@@ -582,7 +694,7 @@ impl Wrangler {
         }
         let plan = self.plan();
         // Refresh the trust vector from beliefs (feedback may have moved it).
-        let mut cache = self.cache.take().expect("checked above");
+        let mut cache = self.cache.take().expect("checked above"); // lint-allow: presence checked by the guard above
         for i in 0..self.registry.len() {
             let blended =
                 0.5 * cache.source_ctx.trust[i].min(1.0) + 0.5 * self.states[i].trust.probability();
@@ -687,7 +799,7 @@ impl Wrangler {
 
     /// Assemble the wrangled table and its quality report from the cache.
     fn assemble(&mut self, plan: &Plan) -> wrangler_table::Result<WrangleOutcome> {
-        let cache = self.cache.as_ref().expect("assemble requires a cache");
+        let cache = self.cache.as_ref().expect("assemble requires a cache"); // lint-allow: wrangle() populates the cache before assemble()
         let mut fields = self.target.fields().to_vec();
         fields.push(wrangler_table::Field::new("_confidence", DataType::Float));
         let out_schema = Schema::new(fields)?;
@@ -792,6 +904,7 @@ impl Wrangler {
             degraded_sources: self.last_acquisition.degraded.clone(),
             acquisition_attempts: self.last_acquisition.attempts,
             acquisition_ticks: self.last_acquisition.ticks,
+            lint: self.lint_report(),
         })
     }
 
@@ -1577,5 +1690,70 @@ mod tests {
             out.selected_sources.len() as u64,
             "one attempt per source, no retries"
         );
+    }
+
+    #[test]
+    fn clean_pipeline_passes_deny_gate() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        assert_eq!(w.lint_gate(), wrangler_lint::GateMode::Deny);
+        let out = w.wrangle().unwrap();
+        // Generated mappings may carry advisory warnings (lossy messy-number
+        // normalization is real), but never error-grade findings: the gate
+        // must not block the seed pipeline.
+        assert!(out.lint.is_clean(), "{:?}", out.lint);
+    }
+
+    #[test]
+    fn deny_gate_blocks_corrupted_mapping_before_execution() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        let victim = out.selected_sources[0];
+        let mut bad = w.mapping_of(victim).expect("mapping generated").clone();
+        *bad
+            .bindings
+            .iter_mut()
+            .find(|b| b.is_some())
+            .expect("some binding") = Some(999);
+        assert!(w.override_mapping(victim, bad));
+        let err = w.wrangle().unwrap_err();
+        assert!(err.to_string().contains("pre-flight lint"), "{err}");
+        // Findings survive the refusal, so callers can inspect why.
+        assert!(!w.lint_report().is_clean());
+        assert!(w
+            .lint_findings()
+            .iter()
+            .any(|(origin, _)| origin == &format!("src{}", victim.0)));
+    }
+
+    #[test]
+    fn warn_gate_records_findings_but_proceeds_to_runtime_error() {
+        let fleet = small_fleet();
+        let mut w =
+            session(&fleet, UserContext::balanced("t")).with_lint_gate(wrangler_lint::GateMode::Warn);
+        let out = w.wrangle().unwrap();
+        let victim = out.selected_sources[0];
+        let mut bad = w.mapping_of(victim).expect("mapping generated").clone();
+        *bad
+            .bindings
+            .iter_mut()
+            .find(|b| b.is_some())
+            .expect("some binding") = Some(999);
+        assert!(w.override_mapping(victim, bad));
+        let err = w.wrangle().unwrap_err();
+        // The same defect now surfaces as a runtime table error mid-run.
+        assert!(!err.to_string().contains("pre-flight lint"), "{err}");
+        assert!(!w.lint_report().is_clean(), "findings still recorded");
+    }
+
+    #[test]
+    fn off_gate_skips_analysis() {
+        let fleet = small_fleet();
+        let mut w =
+            session(&fleet, UserContext::balanced("t")).with_lint_gate(wrangler_lint::GateMode::Off);
+        let out = w.wrangle().unwrap();
+        assert!(out.lint.is_empty());
+        assert!(w.lint_findings().is_empty());
     }
 }

@@ -162,7 +162,7 @@ impl Doc {
             let anc = self.ancestors(id);
             common.retain(|n| anc.contains(n));
         }
-        *common.first().expect("root is always common")
+        *common.first().expect("root is always common") // lint-allow: the root is an ancestor of every node
     }
 
     /// Concatenated text of a node's subtree (own text first).

@@ -136,7 +136,7 @@ fn parse_flat_object(s: &str) -> Result<Vec<(String, String)>, String> {
                 let mut tok = String::new();
                 while matches!(chars.peek(), Some(c) if !c.is_whitespace() && *c != ',' && *c != '}')
                 {
-                    tok.push(chars.next().expect("peeked"));
+                    tok.push(chars.next().expect("peeked")); // lint-allow: peek() just returned Some
                 }
                 if tok == "null" {
                     String::new()

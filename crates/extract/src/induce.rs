@@ -14,7 +14,7 @@
 //!    across examples, with the label prefix (text before the value) kept if
 //!    it is identical in every example.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::doc::{Doc, NodeId};
 use crate::wrapper::{FieldRule, Selector, Wrapper};
@@ -160,8 +160,9 @@ pub fn induce_wrapper(doc: &Doc, annotations: &[Annotation]) -> Result<Wrapper, 
     }
     let mut fields = Vec::with_capacity(field_order.len());
     for fname in &field_order {
-        // (tag, class) → (count, prefixes seen)
-        let mut sigs: HashMap<(String, Option<String>), Vec<String>> = HashMap::new();
+        // (tag, class) → (count, prefixes seen). Ordered map: `find` below
+        // must pick the same winning signature on every run.
+        let mut sigs: BTreeMap<(String, Option<String>), Vec<String>> = BTreeMap::new();
         let mut examples_with_field = 0;
         for (ann, &root) in annotations.iter().zip(&roots) {
             let Some(value) = ann.get(fname) else {

@@ -13,7 +13,7 @@
 //!    (prices change between visits, so their values cannot be matched) by a
 //!    type-and-label heuristic within the relocated records.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wrangler_table::infer::parse_cell;
 use wrangler_table::{DataType, Table};
@@ -155,8 +155,9 @@ fn recover_numeric_field(doc: &Doc, records: &[NodeId], field: &str) -> Option<F
         }
     }
 
-    // signature → (hits, label-mentions-field hits, first prefix)
-    let mut sigs: HashMap<(String, Option<String>), (usize, usize, String)> = HashMap::new();
+    // signature → (hits, label-mentions-field hits, first prefix). Ordered
+    // map so `max_by_key` ties resolve the same way on every run.
+    let mut sigs: BTreeMap<(String, Option<String>), (usize, usize, String)> = BTreeMap::new();
     for &rec in records {
         for n in doc.descendants(rec) {
             let node = doc.node(n);

@@ -42,7 +42,9 @@ pub struct ClaimSet {
     /// Relative tolerance for numeric agreement.
     pub rel_tol: f64,
     /// (entity, attr) → indices into `claims`.
-    index: std::collections::HashMap<(usize, usize), Vec<usize>>,
+    // Ordered map: `slots()` feeds the fusion loop in iteration order, so
+    // the index must be key-ordered for deterministic replay.
+    index: std::collections::BTreeMap<(usize, usize), Vec<usize>>,
 }
 
 impl ClaimSet {
@@ -52,7 +54,7 @@ impl ClaimSet {
             claims: Vec::new(),
             num_sources,
             rel_tol: 1e-9,
-            index: std::collections::HashMap::new(),
+            index: std::collections::BTreeMap::new(),
         }
     }
 
@@ -81,11 +83,10 @@ impl ClaimSet {
             .unwrap_or_default()
     }
 
-    /// All (entity, attribute) slots with at least one claim, sorted.
+    /// All (entity, attribute) slots with at least one claim, in ascending
+    /// order (the index is key-ordered).
     pub fn slots(&self) -> Vec<(usize, usize)> {
-        let mut out: Vec<(usize, usize)> = self.index.keys().copied().collect();
-        out.sort_unstable();
-        out
+        self.index.keys().copied().collect()
     }
 
     /// Group a slot's claims into agreement classes: each class is a set of

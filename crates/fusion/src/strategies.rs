@@ -84,7 +84,7 @@ pub fn fuse_attribute(
         let freshest = slot
             .iter()
             .min_by_key(|c| (ctx.age_of(c.source), c.source))
-            .expect("nonempty");
+            .expect("nonempty"); // lint-allow: guarded by the is_empty check above
         return Some(FusedValue {
             value: freshest.value.clone(),
             weight: 1.0,
@@ -116,7 +116,7 @@ pub fn fuse_attribute(
             best = Some((w, value, supporters));
         }
     }
-    let (weight, value, supporters) = best.expect("nonempty slot");
+    let (weight, value, supporters) = best.expect("nonempty slot"); // lint-allow: caller passes a nonempty slot
     // For time-aware fusion, the confidence is additionally tempered by the
     // freshest winning evidence.
     let freshness = match strategy {

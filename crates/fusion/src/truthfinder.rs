@@ -7,7 +7,7 @@
 //! agreement structure — and master data (§2.3) can seed it with a handful
 //! of known-true facts to break symmetry faster.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wrangler_table::Value;
 
@@ -43,7 +43,7 @@ pub struct TruthFinderResult {
     /// Trust per source index.
     pub trust: Vec<f64>,
     /// (entity, attr) → (winning value, confidence).
-    pub decisions: HashMap<(usize, usize), (Value, f64)>,
+    pub decisions: BTreeMap<(usize, usize), (Value, f64)>,
     /// Iterations executed.
     pub iterations: usize,
 }
@@ -74,11 +74,11 @@ pub fn truthfinder(
     let slots = claims.slots();
     // Index claims by slot once: the fixed-point loop must not rescan the
     // whole claim set per slot per iteration.
-    let mut by_slot: HashMap<(usize, usize), Vec<&crate::claims::Claim>> = HashMap::new();
+    let mut by_slot: BTreeMap<(usize, usize), Vec<&crate::claims::Claim>> = BTreeMap::new();
     for c in &claims.claims {
         by_slot.entry((c.entity, c.attr)).or_default().push(c);
     }
-    let mut decisions: HashMap<(usize, usize), (Value, f64)> = HashMap::new();
+    let mut decisions: BTreeMap<(usize, usize), (Value, f64)> = BTreeMap::new();
     let mut iterations = 0;
 
     for _ in 0..cfg.max_iterations {

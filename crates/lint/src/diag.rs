@@ -1,0 +1,449 @@
+//! The typed diagnostic model shared by every analysis pass.
+//!
+//! A [`Diagnostic`] is the unit of analyzer output: a stable [`Code`], a
+//! [`Severity`], the [`Component`] of the pipeline it concerns, a
+//! human-readable message, and a [`Locus`] pinpointing the artifact element
+//! (a binding, an expression path, a plan step) the finding is about. A
+//! [`Report`] aggregates the diagnostics of one analysis run in a canonical
+//! (deterministic) order, and answers the gating question: may execution
+//! proceed under a given [`GateMode`]?
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; never blocks.
+    Info,
+    /// Likely quality loss at runtime (silent dtype corruption, null
+    /// hazards); blocks nothing but is reported.
+    Warning,
+    /// Guaranteed or near-certain runtime failure; blocks execution when the
+    /// gate is in deny mode.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which layer of the wrangling pipeline a finding concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A schema mapping artifact.
+    Mapping,
+    /// An expression (predicate or projection).
+    Expression,
+    /// The derived execution plan.
+    Plan,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Mapping => "mapping",
+            Component::Expression => "expression",
+            Component::Plan => "plan",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Stable diagnostic codes. The numeric block encodes the component:
+/// `L0xx` mapping, `L1xx` expression, `L2xx` plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    // --- mapping (L0xx) ---
+    /// A binding's source column index is out of range for the source schema.
+    BindingOutOfRange,
+    /// `bindings` / `binding_beliefs` arity disagrees with the target schema.
+    BindingArityMismatch,
+    /// A bound source column's dtype has no conversion into the target
+    /// field's dtype.
+    IncompatibleBinding,
+    /// A bound source column's dtype converts only lossily into the target
+    /// field's dtype (truncation or partial parsing).
+    LossyBinding,
+    /// A non-nullable target field has no binding: the output column will be
+    /// all null, violating the declared contract.
+    UnboundRequired,
+    /// No target field is bound at all: executing the mapping produces only
+    /// nulls.
+    ZeroCoverage,
+    /// One source column feeds multiple target fields of conflicting dtypes.
+    ConflictingReuse,
+    // --- expression (L1xx) ---
+    /// A column reference does not resolve against the schema.
+    UnknownColumn,
+    /// A column index is out of range for the schema (bound expressions).
+    ColumnIndexOutOfRange,
+    /// Comparison whose operand types can never denote the same domain.
+    CrossTypeComparison,
+    /// Arithmetic over an operand that is not (and cannot parse as) numeric.
+    IllTypedArithmetic,
+    /// Boolean connective (`AND`/`OR`/`NOT`) over a non-boolean operand.
+    IllTypedLogic,
+    /// Division whose divisor is the literal zero, or may evaluate to zero.
+    DivByZero,
+    /// A nullable operand silently propagates null through the expression
+    /// (three-valued logic makes the predicate drop such rows).
+    NullPropagation,
+    /// A cast to a type the operand's type cannot reach.
+    ImpossibleCast,
+    /// A predicate whose result type is not boolean.
+    NonBooleanPredicate,
+    // --- plan (L2xx) ---
+    /// A plan step draws randomness without a declared seed.
+    UnseededStep,
+    /// A plan step iterates hash-keyed state directly into ordered output.
+    HashOrderHazard,
+    /// A parallel step merges worker output without normalizing order.
+    UnorderedMerge,
+}
+
+impl Code {
+    /// The stable string form (`L001`…) used in reports and experiments.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::BindingOutOfRange => "L001",
+            Code::BindingArityMismatch => "L002",
+            Code::IncompatibleBinding => "L003",
+            Code::LossyBinding => "L004",
+            Code::UnboundRequired => "L005",
+            Code::ZeroCoverage => "L006",
+            Code::ConflictingReuse => "L007",
+            Code::UnknownColumn => "L101",
+            Code::ColumnIndexOutOfRange => "L102",
+            Code::CrossTypeComparison => "L103",
+            Code::IllTypedArithmetic => "L104",
+            Code::IllTypedLogic => "L105",
+            Code::DivByZero => "L106",
+            Code::NullPropagation => "L107",
+            Code::ImpossibleCast => "L108",
+            Code::NonBooleanPredicate => "L109",
+            Code::UnseededStep => "L201",
+            Code::HashOrderHazard => "L202",
+            Code::UnorderedMerge => "L203",
+        }
+    }
+
+    /// The component this code belongs to.
+    pub fn component(self) -> Component {
+        match self {
+            Code::BindingOutOfRange
+            | Code::BindingArityMismatch
+            | Code::IncompatibleBinding
+            | Code::LossyBinding
+            | Code::UnboundRequired
+            | Code::ZeroCoverage
+            | Code::ConflictingReuse => Component::Mapping,
+            Code::UnknownColumn
+            | Code::ColumnIndexOutOfRange
+            | Code::CrossTypeComparison
+            | Code::IllTypedArithmetic
+            | Code::IllTypedLogic
+            | Code::DivByZero
+            | Code::NullPropagation
+            | Code::ImpossibleCast
+            | Code::NonBooleanPredicate => Component::Expression,
+            Code::UnseededStep | Code::HashOrderHazard | Code::UnorderedMerge => Component::Plan,
+        }
+    }
+
+    /// The default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::BindingOutOfRange
+            | Code::BindingArityMismatch
+            | Code::UnknownColumn
+            | Code::ColumnIndexOutOfRange
+            | Code::IllTypedArithmetic
+            | Code::IllTypedLogic
+            | Code::ImpossibleCast
+            | Code::NonBooleanPredicate
+            | Code::UnseededStep
+            | Code::HashOrderHazard => Severity::Error,
+            // `UnboundRequired` stays a warning because `Field::nullable` is
+            // informational in this system (inferred from sample data, never
+            // enforced on insert): an all-null column is quality loss, not a
+            // guaranteed failure.
+            Code::UnboundRequired
+            | Code::IncompatibleBinding
+            | Code::LossyBinding
+            | Code::ZeroCoverage
+            | Code::ConflictingReuse
+            | Code::CrossTypeComparison
+            | Code::DivByZero
+            | Code::UnorderedMerge => Severity::Warning,
+            Code::NullPropagation => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Where in the analyzed artifact a finding points.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locus {
+    /// The artifact as a whole.
+    Whole,
+    /// The binding feeding the named target field.
+    Binding {
+        /// Index of the target field.
+        target_index: usize,
+        /// Name of the target field.
+        target_field: String,
+    },
+    /// A node in an expression tree, as a root-to-node path of child indices
+    /// (empty = the root).
+    ExprPath(Vec<usize>),
+    /// A named plan step.
+    Step(String),
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Whole => write!(f, "artifact"),
+            Locus::Binding {
+                target_index,
+                target_field,
+            } => write!(f, "binding[{target_index}]→{target_field}"),
+            Locus::ExprPath(path) => {
+                write!(f, "expr")?;
+                for p in path {
+                    write!(f, ".{p}")?;
+                }
+                Ok(())
+            }
+            Locus::Step(name) => write!(f, "step:{name}"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (defaults to `code.severity()`; passes may escalate).
+    pub severity: Severity,
+    /// Pipeline component.
+    pub component: Component,
+    /// Human-readable account of the finding.
+    pub message: String,
+    /// Where in the artifact.
+    pub locus: Locus,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and component.
+    pub fn new(code: Code, locus: Locus, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            component: code.component(),
+            message: message.into(),
+            locus,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} at {}: {}",
+            self.code, self.severity, self.component, self.locus, self.message
+        )
+    }
+}
+
+/// How the pre-flight gate treats a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateMode {
+    /// Do not run the analyzer at all.
+    Off,
+    /// Run, record diagnostics, never block.
+    Warn,
+    /// Run, record diagnostics, refuse execution on any `Error`.
+    #[default]
+    Deny,
+}
+
+/// The outcome of one analysis run: diagnostics in canonical order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Add one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorb another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Canonicalize: sort by (severity desc, code, locus, message) and drop
+    /// exact duplicates. Called by the passes before returning, so two runs
+    /// over the same artifact yield byte-identical reports.
+    pub fn canonicalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.locus.cmp(&b.locus))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        self.diagnostics.dedup();
+    }
+
+    /// All diagnostics, most severe first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True if no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if no `Error`-severity findings.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Error`-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True if a distinct code is present.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Should the gate refuse execution under `mode`?
+    pub fn blocks(&self, mode: GateMode) -> bool {
+        matches!(mode, GateMode::Deny) && !self.is_clean()
+    }
+
+    /// Diagnostics present in `self` but not in `baseline` (exact match).
+    /// Experiments use this to decide whether an injected defect was *caught*:
+    /// a defect counts as caught only if it produces a finding the clean
+    /// artifact did not already have.
+    pub fn newly_versus(&self, baseline: &Report) -> Vec<Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| !baseline.diagnostics.contains(d))
+            .cloned()
+            .collect()
+    }
+
+    /// One-line summary, e.g. `3 diagnostics (1 error, 2 warnings)`.
+    pub fn summary(&self) -> String {
+        let errors = self.errors().count();
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        let infos = self.len() - errors - warnings;
+        format!(
+            "{} diagnostics ({errors} errors, {warnings} warnings, {infos} infos)",
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_typed() {
+        assert_eq!(Code::BindingOutOfRange.as_str(), "L001");
+        assert_eq!(Code::UnknownColumn.component(), Component::Expression);
+        assert_eq!(Code::HashOrderHazard.component(), Component::Plan);
+        assert_eq!(Code::BindingOutOfRange.severity(), Severity::Error);
+        assert_eq!(Code::LossyBinding.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn report_canonical_order_and_gating() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::LossyBinding,
+            Locus::Binding {
+                target_index: 1,
+                target_field: "price".into(),
+            },
+            "str feeds float",
+        ));
+        r.push(Diagnostic::new(
+            Code::BindingOutOfRange,
+            Locus::Binding {
+                target_index: 0,
+                target_field: "sku".into(),
+            },
+            "index 9 out of range",
+        ));
+        r.canonicalize();
+        // Errors sort first.
+        assert_eq!(r.diagnostics()[0].code, Code::BindingOutOfRange);
+        assert!(!r.is_clean());
+        assert!(r.blocks(GateMode::Deny));
+        assert!(!r.blocks(GateMode::Warn));
+        assert!(!r.blocks(GateMode::Off));
+        assert!(r.summary().contains("1 errors"));
+    }
+
+    #[test]
+    fn dedup_and_display() {
+        let d = Diagnostic::new(Code::DivByZero, Locus::ExprPath(vec![0, 1]), "literal zero");
+        let mut r = Report::new();
+        r.push(d.clone());
+        r.push(d.clone());
+        r.canonicalize();
+        assert_eq!(r.len(), 1);
+        let s = d.to_string();
+        assert!(s.contains("L106") && s.contains("expr.0.1"), "{s}");
+    }
+
+    #[test]
+    fn clean_report_never_blocks() {
+        let r = Report::new();
+        assert!(r.is_clean() && r.is_empty());
+        assert!(!r.blocks(GateMode::Deny));
+    }
+}

@@ -1,0 +1,447 @@
+//! Static typechecking of expressions against a schema.
+//!
+//! The checker runs the same abstract interpretation over [`Expr`] (name
+//! based) and [`BoundExpr`] (index based): infer a type for every node,
+//! flagging constructions the evaluator is guaranteed (or likely) to reject
+//! at runtime — ill-typed arithmetic and logic, impossible casts, literal
+//! division by zero — plus hazards that never error but silently change
+//! results, like null propagation through a predicate.
+
+use wrangler_table::expr::{ArithOp, BoundExpr, CmpOp};
+use wrangler_table::{CastSafety, DataType, Expr, Schema, Value};
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+
+/// The abstract type of an expression node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ty {
+    /// Inferred data type; `DataType::Null` means statically unknown/null.
+    pub dtype: DataType,
+    /// Whether the node can evaluate to `Null`.
+    pub nullable: bool,
+}
+
+impl Ty {
+    fn new(dtype: DataType, nullable: bool) -> Ty {
+        Ty { dtype, nullable }
+    }
+}
+
+/// Typecheck a name-based expression against `schema`.
+pub fn check_expr(expr: &Expr, schema: &Schema) -> Report {
+    let mut cx = Checker::new(schema);
+    cx.infer(expr);
+    cx.finish()
+}
+
+/// Typecheck a bound (index-based) expression against `schema`.
+pub fn check_bound(expr: &BoundExpr, schema: &Schema) -> Report {
+    let mut cx = Checker::new(schema);
+    cx.infer_bound(expr);
+    cx.finish()
+}
+
+/// Typecheck `expr` as a *predicate*: additionally require a boolean result
+/// and flag nullable roots (three-valued logic silently drops such rows).
+pub fn check_predicate(expr: &Expr, schema: &Schema) -> Report {
+    let mut cx = Checker::new(schema);
+    let ty = cx.infer(expr);
+    cx.check_predicate_root(ty);
+    cx.finish()
+}
+
+struct Checker<'a> {
+    schema: &'a Schema,
+    path: Vec<usize>,
+    report: Report,
+}
+
+impl<'a> Checker<'a> {
+    fn new(schema: &'a Schema) -> Self {
+        Checker {
+            schema,
+            path: Vec::new(),
+            report: Report::new(),
+        }
+    }
+
+    fn finish(mut self) -> Report {
+        self.report.canonicalize();
+        self.report
+    }
+
+    fn diag(&mut self, code: Code, message: String) {
+        self.report
+            .push(Diagnostic::new(code, Locus::ExprPath(self.path.clone()), message));
+    }
+
+    fn check_predicate_root(&mut self, ty: Ty) {
+        if !matches!(ty.dtype, DataType::Bool | DataType::Null) {
+            self.diag(
+                Code::NonBooleanPredicate,
+                format!("predicate evaluates to {}, not bool", ty.dtype),
+            );
+        }
+        if ty.nullable {
+            self.diag(
+                Code::NullPropagation,
+                "predicate can evaluate to null; such rows are silently dropped \
+                 (SQL WHERE semantics)"
+                    .to_string(),
+            );
+        }
+    }
+
+    fn at<T>(&mut self, child: usize, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.path.push(child);
+        let out = f(self);
+        self.path.pop();
+        out
+    }
+
+    fn col_ty(&mut self, idx: Result<usize, String>) -> Ty {
+        match idx {
+            Ok(i) => match self.schema.field(i) {
+                Ok(f) => Ty::new(f.dtype, f.nullable),
+                Err(_) => {
+                    self.diag(
+                        Code::ColumnIndexOutOfRange,
+                        format!("column index {i} out of range for {} columns", self.schema.len()),
+                    );
+                    Ty::new(DataType::Null, true)
+                }
+            },
+            Err(name) => {
+                self.diag(
+                    Code::UnknownColumn,
+                    format!("no column named `{name}` in schema {}", self.schema),
+                );
+                Ty::new(DataType::Null, true)
+            }
+        }
+    }
+
+    fn infer(&mut self, e: &Expr) -> Ty {
+        match e {
+            Expr::Col(name) => {
+                let idx = self
+                    .schema
+                    .index_of(name)
+                    .map_err(|_| name.clone());
+                self.col_ty(idx)
+            }
+            Expr::Lit(v) => self.lit_ty(v),
+            Expr::Cmp(op, a, b) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                let tb = self.at(1, |cx| cx.infer(b));
+                self.cmp_ty(*op, ta, tb)
+            }
+            Expr::Arith(op, a, b) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                let tb = self.at(1, |cx| cx.infer(b));
+                let zero_div = *op == ArithOp::Div && matches!(&**b, Expr::Lit(v) if is_zero(v));
+                self.arith_ty(*op, ta, tb, zero_div)
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                let tb = self.at(1, |cx| cx.infer(b));
+                self.logic_ty(&[ta, tb])
+            }
+            Expr::Not(a) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                self.logic_ty(&[ta])
+            }
+            Expr::IsNull(a) => {
+                self.at(0, |cx| cx.infer(a));
+                Ty::new(DataType::Bool, false)
+            }
+            Expr::Lower(a) | Expr::Trim(a) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                Ty::new(DataType::Str, ta.nullable)
+            }
+            Expr::Len(a) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                Ty::new(DataType::Int, ta.nullable)
+            }
+            Expr::Coalesce(xs) => {
+                let tys: Vec<Ty> = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| self.at(i, |cx| cx.infer(x)))
+                    .collect();
+                coalesce_ty(&tys)
+            }
+            Expr::Cast(dt, a) => {
+                let ta = self.at(0, |cx| cx.infer(a));
+                self.cast_ty(*dt, ta)
+            }
+            Expr::Concat(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    self.at(i, |cx| cx.infer(x));
+                }
+                Ty::new(DataType::Str, false)
+            }
+        }
+    }
+
+    fn infer_bound(&mut self, e: &BoundExpr) -> Ty {
+        match e {
+            BoundExpr::Col(i) => self.col_ty(Ok(*i)),
+            BoundExpr::Lit(v) => self.lit_ty(v),
+            BoundExpr::Cmp(op, a, b) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                let tb = self.at(1, |cx| cx.infer_bound(b));
+                self.cmp_ty(*op, ta, tb)
+            }
+            BoundExpr::Arith(op, a, b) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                let tb = self.at(1, |cx| cx.infer_bound(b));
+                let zero_div =
+                    *op == ArithOp::Div && matches!(&**b, BoundExpr::Lit(v) if is_zero(v));
+                self.arith_ty(*op, ta, tb, zero_div)
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                let tb = self.at(1, |cx| cx.infer_bound(b));
+                self.logic_ty(&[ta, tb])
+            }
+            BoundExpr::Not(a) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                self.logic_ty(&[ta])
+            }
+            BoundExpr::IsNull(a) => {
+                self.at(0, |cx| cx.infer_bound(a));
+                Ty::new(DataType::Bool, false)
+            }
+            BoundExpr::Lower(a) | BoundExpr::Trim(a) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                Ty::new(DataType::Str, ta.nullable)
+            }
+            BoundExpr::Len(a) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                Ty::new(DataType::Int, ta.nullable)
+            }
+            BoundExpr::Coalesce(xs) => {
+                let tys: Vec<Ty> = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| self.at(i, |cx| cx.infer_bound(x)))
+                    .collect();
+                coalesce_ty(&tys)
+            }
+            BoundExpr::Cast(dt, a) => {
+                let ta = self.at(0, |cx| cx.infer_bound(a));
+                self.cast_ty(*dt, ta)
+            }
+            BoundExpr::Concat(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    self.at(i, |cx| cx.infer_bound(x));
+                }
+                Ty::new(DataType::Str, false)
+            }
+        }
+    }
+
+    fn lit_ty(&mut self, v: &Value) -> Ty {
+        Ty::new(v.dtype(), v.is_null())
+    }
+
+    fn cmp_ty(&mut self, _op: CmpOp, a: Ty, b: Ty) -> Ty {
+        // Values carry a total order, so any comparison *evaluates* — but
+        // comparing across concrete non-string domains (e.g. an int column
+        // against a bool literal) orders by type tag, which is almost never
+        // what the author meant. Str operands are exempt: messy sources
+        // legitimately hold numbers as strings.
+        if a.dtype != DataType::Null
+            && b.dtype != DataType::Null
+            && a.dtype != b.dtype
+            && a.dtype.unify(b.dtype) == DataType::Str
+            && !(a.dtype == DataType::Str || b.dtype == DataType::Str)
+        {
+            self.diag(
+                Code::CrossTypeComparison,
+                format!(
+                    "comparison between {} and {} orders by type tag, not value",
+                    a.dtype, b.dtype
+                ),
+            );
+        }
+        Ty::new(DataType::Bool, a.nullable || b.nullable)
+    }
+
+    fn arith_ty(&mut self, op: ArithOp, a: Ty, b: Ty, literal_zero_divisor: bool) -> Ty {
+        for t in [a, b] {
+            if matches!(t.dtype, DataType::Str | DataType::Bool) {
+                self.diag(
+                    Code::IllTypedArithmetic,
+                    format!("arithmetic over a {} operand fails at runtime", t.dtype),
+                );
+            }
+        }
+        if literal_zero_divisor {
+            self.diag(
+                Code::DivByZero,
+                "division by the literal zero always yields null".to_string(),
+            );
+        }
+        let dtype = if a.dtype == DataType::Int && b.dtype == DataType::Int && op != ArithOp::Div {
+            DataType::Int
+        } else {
+            DataType::Float
+        };
+        // Division can yield null even for non-null inputs (zero divisor).
+        let nullable = a.nullable || b.nullable || op == ArithOp::Div;
+        Ty::new(dtype, nullable)
+    }
+
+    fn logic_ty(&mut self, operands: &[Ty]) -> Ty {
+        let mut nullable = false;
+        for t in operands {
+            if !matches!(t.dtype, DataType::Bool | DataType::Null) {
+                self.diag(
+                    Code::IllTypedLogic,
+                    format!("boolean connective over a {} operand fails at runtime", t.dtype),
+                );
+            }
+            nullable |= t.nullable || t.dtype == DataType::Null;
+        }
+        Ty::new(DataType::Bool, nullable)
+    }
+
+    fn cast_ty(&mut self, target: DataType, a: Ty) -> Ty {
+        if a.dtype.cast_safety(target) == CastSafety::Incompatible {
+            self.diag(
+                Code::ImpossibleCast,
+                format!("cast from {} to {target} has no conversion", a.dtype),
+            );
+        }
+        Ty::new(target, a.nullable)
+    }
+}
+
+fn coalesce_ty(tys: &[Ty]) -> Ty {
+    let dtype = tys
+        .iter()
+        .fold(DataType::Null, |acc, t| acc.unify(t.dtype));
+    // Non-null as soon as one operand is guaranteed non-null.
+    let nullable = !tys.iter().any(|t| !t.nullable && t.dtype != DataType::Null);
+    Ty::new(dtype, nullable)
+}
+
+fn is_zero(v: &Value) -> bool {
+    matches!(v, Value::Int(0)) || matches!(v, Value::Float(f) if *f == 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_table::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("name", DataType::Str),
+            Field::new("price", DataType::Float),
+            Field::required("qty", DataType::Int),
+            Field::required("active", DataType::Bool),
+        ])
+        .expect("unique names")
+    }
+
+    #[test]
+    fn well_typed_predicate_is_clean() {
+        let e = Expr::col("price")
+            .gt(Expr::lit(10.0))
+            .and(Expr::col("active"));
+        let r = check_expr(&e, &schema());
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let e = Expr::col("nope").gt(Expr::lit(1));
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::UnknownColumn));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn bound_index_out_of_range_is_error() {
+        let e = BoundExpr::Col(42);
+        let r = check_bound(&e, &schema());
+        assert!(r.has_code(Code::ColumnIndexOutOfRange));
+    }
+
+    #[test]
+    fn arithmetic_over_strings_is_error() {
+        let e = Expr::col("name").add(Expr::lit(1));
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::IllTypedArithmetic));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn logic_over_non_bool_is_error() {
+        let e = Expr::col("qty").and(Expr::col("active"));
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::IllTypedLogic));
+    }
+
+    #[test]
+    fn div_by_literal_zero_is_flagged() {
+        let e = Expr::col("qty").div(Expr::lit(0));
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::DivByZero));
+        assert!(r.is_clean(), "hazard, not a hard error");
+    }
+
+    #[test]
+    fn cross_type_comparison_is_flagged() {
+        let e = Expr::col("qty").eq(Expr::col("active"));
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::CrossTypeComparison));
+    }
+
+    #[test]
+    fn impossible_cast_is_flagged() {
+        let e = Expr::col("active").cast(DataType::Float);
+        let r = check_expr(&e, &schema());
+        assert!(r.has_code(Code::ImpossibleCast));
+    }
+
+    #[test]
+    fn predicate_checks_root_type_and_null_hazard() {
+        // Non-boolean root.
+        let r = check_predicate(&Expr::col("qty"), &schema());
+        assert!(r.has_code(Code::NonBooleanPredicate));
+
+        // Nullable comparison root: silent row drops.
+        let r2 = check_predicate(&Expr::col("price").gt(Expr::lit(1.0)), &schema());
+        assert!(r2.has_code(Code::NullPropagation));
+        assert!(r2.is_clean());
+
+        // Guarded by coalesce: no hazard.
+        let guarded = Expr::Coalesce(vec![Expr::col("price"), Expr::lit(0.0)]).gt(Expr::lit(1.0));
+        let r3 = check_predicate(&guarded, &schema());
+        assert!(!r3.has_code(Code::NullPropagation), "{r3:?}");
+    }
+
+    #[test]
+    fn bound_and_unbound_agree() {
+        let e = Expr::col("price").gt(Expr::lit(10.0)).or(Expr::col("active"));
+        let s = schema();
+        let bound = e.bind(&s).expect("binds");
+        assert_eq!(check_expr(&e, &s), check_bound(&bound, &s));
+    }
+
+    #[test]
+    fn locus_paths_point_at_offending_node() {
+        let e = Expr::col("name").add(Expr::lit(1)); // name is child 0
+        let r = check_expr(&e, &schema());
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::IllTypedArithmetic)
+            .expect("present");
+        assert_eq!(d.locus.to_string(), "expr");
+    }
+}

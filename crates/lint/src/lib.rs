@@ -1,0 +1,73 @@
+//! `wrangler-lint` — static analysis of wrangling artifacts before execution.
+//!
+//! The cost/quality trade-offs of §2–§4 assume the wrangling *process* itself
+//! is sound; in practice the artifacts the process runs — generated schema
+//! mappings, user predicates, derived plans — carry defects that otherwise
+//! surface mid-run as opaque table errors, or worse, never surface and
+//! silently corrupt the product. This crate checks the artifacts statically:
+//!
+//! * [`mapping::check_mapping`] validates a mapping against the source schema
+//!   it will execute over (binding ranges, arity, the
+//!   [`wrangler_table::CastSafety`] lattice, unbound required fields,
+//!   degenerate coverage);
+//! * [`expr::check_expr`] / [`expr::check_predicate`] typecheck expressions
+//!   against a schema (unknown columns, ill-typed arithmetic and logic,
+//!   impossible casts, division by literal zero, null-propagation hazards);
+//! * [`plan::audit_steps`] audits a described plan for determinism hazards
+//!   (unseeded randomness, hash-order iteration, unordered parallel merges).
+//!
+//! All passes emit the same typed [`Diagnostic`] model and return canonical,
+//! deterministic [`Report`]s, so a report is comparable across runs and
+//! against a baseline ([`Report::newly_versus`]). The `wrangler-core`
+//! pipeline runs these passes as a pre-flight gate (see [`GateMode`]);
+//! [`corrupt`] provides the seeded defect injection that experiment E12 uses
+//! to measure what fraction of each defect class the gate catches.
+
+pub mod corrupt;
+pub mod diag;
+pub mod expr;
+pub mod mapping;
+pub mod plan;
+
+pub use corrupt::{corrupt_predicate, inject_mapping_defect, DefectClass};
+pub use diag::{Code, Component, Diagnostic, GateMode, Locus, Report, Severity};
+pub use expr::{check_bound, check_expr, check_predicate};
+pub use mapping::check_mapping;
+pub use plan::{audit_steps, PlanStep};
+
+/// Analyze one source's mapping plus the shared plan description: the unit of
+/// pre-flight work the core pipeline runs per selected source.
+pub fn preflight(
+    mapping: &wrangler_mapping::Mapping,
+    source_schema: &wrangler_table::Schema,
+    steps: &[PlanStep],
+) -> Report {
+    let mut report = check_mapping(mapping, source_schema);
+    report.merge(audit_steps(steps));
+    report.canonicalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_mapping::{mapping::target_schema, Mapping};
+    use wrangler_table::{DataType, Field, Schema};
+    use wrangler_uncertainty::Belief;
+
+    #[test]
+    fn preflight_combines_mapping_and_plan_findings() {
+        let source = Schema::new(vec![Field::new("code", DataType::Str)]).expect("unique");
+        let m = Mapping {
+            target: target_schema(&[("sku", DataType::Str)]),
+            bindings: vec![Some(5)],
+            binding_beliefs: vec![Belief::from_prior(0.9)],
+            belief: Belief::from_prior(0.9),
+        };
+        let steps = vec![PlanStep::deterministic("sampling").with_randomness(false)];
+        let r = preflight(&m, &source, &steps);
+        assert!(r.has_code(Code::BindingOutOfRange));
+        assert!(r.has_code(Code::UnseededStep));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,284 @@
+//! Mapping validation: check a [`Mapping`] artifact against the source schema
+//! it will execute over, before any row is touched.
+//!
+//! The checks mirror what the executor ([`Mapping::apply`]) will actually do:
+//! out-of-range bindings become runtime `TableError`s, arity mismatches
+//! silently truncate the zip over target fields, and dtype problems surface
+//! (or worse, *don't* surface) through the messy-number normalizer. Each
+//! hazard gets a stable code so experiments can count catches per class.
+
+use wrangler_mapping::Mapping;
+use wrangler_table::{CastSafety, DataType, Schema};
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+
+/// Validate `mapping` against the schema of the source it will be applied to.
+///
+/// Returns a canonicalized [`Report`]; an empty report means the mapping is
+/// statically sound for this source.
+pub fn check_mapping(mapping: &Mapping, source: &Schema) -> Report {
+    let mut report = Report::new();
+    let target_len = mapping.target.len();
+
+    // Arity: bindings and beliefs must line up with the target schema. The
+    // executor zips and silently drops the excess, so this is a structural
+    // corruption, not a style issue.
+    if mapping.bindings.len() != target_len {
+        report.push(Diagnostic::new(
+            Code::BindingArityMismatch,
+            Locus::Whole,
+            format!(
+                "mapping has {} bindings for {} target fields",
+                mapping.bindings.len(),
+                target_len
+            ),
+        ));
+    }
+    if mapping.binding_beliefs.len() != mapping.bindings.len() {
+        report.push(Diagnostic::new(
+            Code::BindingArityMismatch,
+            Locus::Whole,
+            format!(
+                "mapping has {} binding beliefs for {} bindings",
+                mapping.binding_beliefs.len(),
+                mapping.bindings.len()
+            ),
+        ));
+    }
+
+    // Per-binding checks over the fields that do line up.
+    let mut bound_targets_per_src: Vec<(usize, usize)> = Vec::new();
+    for (ti, (field, binding)) in mapping
+        .target
+        .fields()
+        .iter()
+        .zip(&mapping.bindings)
+        .enumerate()
+    {
+        let locus = Locus::Binding {
+            target_index: ti,
+            target_field: field.name.clone(),
+        };
+        match binding {
+            Some(src) => {
+                let Ok(src_field) = source.field(*src) else {
+                    report.push(Diagnostic::new(
+                        Code::BindingOutOfRange,
+                        locus,
+                        format!(
+                            "binding refers to source column {src}, but the source has {} columns",
+                            source.len()
+                        ),
+                    ));
+                    continue;
+                };
+                bound_targets_per_src.push((*src, ti));
+                match src_field.dtype.cast_safety(field.dtype) {
+                    CastSafety::Lossless => {}
+                    CastSafety::Lossy => report.push(Diagnostic::new(
+                        Code::LossyBinding,
+                        locus,
+                        format!(
+                            "source column `{}` ({}) feeds `{}` ({}); conversion is partial \
+                             and unparseable values pass through unconverted",
+                            src_field.name, src_field.dtype, field.name, field.dtype
+                        ),
+                    )),
+                    CastSafety::Incompatible => report.push(Diagnostic::new(
+                        Code::IncompatibleBinding,
+                        locus,
+                        format!(
+                            "source column `{}` ({}) feeds `{}` ({}); no conversion exists, \
+                             values will pass through with the wrong dtype",
+                            src_field.name, src_field.dtype, field.name, field.dtype
+                        ),
+                    )),
+                }
+            }
+            None => {
+                if !field.nullable {
+                    report.push(Diagnostic::new(
+                        Code::UnboundRequired,
+                        locus,
+                        format!(
+                            "non-nullable target field `{}` is unbound; its column will be all null",
+                            field.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Degenerate mapping: nothing bound at all.
+    if target_len > 0 && mapping.bindings.iter().all(Option::is_none) {
+        report.push(Diagnostic::new(
+            Code::ZeroCoverage,
+            Locus::Whole,
+            "no target field is bound; applying this mapping yields only nulls".to_string(),
+        ));
+    }
+
+    // One source column feeding target fields of irreconcilable dtypes: at
+    // least one of the readings of that column must be wrong.
+    bound_targets_per_src.sort_unstable();
+    for window in bound_targets_per_src.windows(2) {
+        let (src_a, ti_a) = window[0];
+        let (src_b, ti_b) = window[1];
+        if src_a != src_b {
+            continue;
+        }
+        let (fa, fb) = match (mapping.target.field(ti_a), mapping.target.field(ti_b)) {
+            (Ok(fa), Ok(fb)) => (fa, fb),
+            _ => continue,
+        };
+        if dtypes_conflict(fa.dtype, fb.dtype) {
+            report.push(Diagnostic::new(
+                Code::ConflictingReuse,
+                Locus::Binding {
+                    target_index: ti_b,
+                    target_field: fb.name.clone(),
+                },
+                format!(
+                    "source column {src_a} feeds both `{}` ({}) and `{}` ({}); these dtypes \
+                     cannot both be right",
+                    fa.name, fa.dtype, fb.name, fb.dtype
+                ),
+            ));
+        }
+    }
+
+    report.canonicalize();
+    report
+}
+
+/// Two target dtypes conflict when neither subsumes the other: both concrete,
+/// different, and unifiable only by collapsing to `Str`.
+fn dtypes_conflict(a: DataType, b: DataType) -> bool {
+    a != b
+        && a != DataType::Null
+        && b != DataType::Null
+        && a != DataType::Str
+        && b != DataType::Str
+        && a.unify(b) == DataType::Str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrangler_mapping::mapping::target_schema;
+    use wrangler_table::Field;
+    use wrangler_uncertainty::Belief;
+
+    fn source() -> Schema {
+        Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("cost", DataType::Float),
+            Field::new("stocked", DataType::Bool),
+        ])
+        .expect("unique names")
+    }
+
+    fn clean_mapping() -> Mapping {
+        Mapping {
+            target: target_schema(&[("sku", DataType::Str), ("price", DataType::Float)]),
+            bindings: vec![Some(0), Some(1)],
+            binding_beliefs: vec![Belief::from_prior(0.9), Belief::from_prior(0.8)],
+            belief: Belief::from_prior(0.85),
+        }
+    }
+
+    #[test]
+    fn clean_mapping_passes() {
+        let r = check_mapping(&clean_mapping(), &source());
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn out_of_range_binding_is_error() {
+        let mut m = clean_mapping();
+        m.bindings[1] = Some(17);
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::BindingOutOfRange));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let mut m = clean_mapping();
+        m.bindings.pop();
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::BindingArityMismatch));
+        assert!(!r.is_clean());
+
+        let mut m2 = clean_mapping();
+        m2.binding_beliefs.push(Belief::uninformed());
+        assert!(check_mapping(&m2, &source()).has_code(Code::BindingArityMismatch));
+    }
+
+    #[test]
+    fn dtype_safety_is_graded() {
+        // Str source → Float target: lossy (messy-number recovery is partial).
+        let mut m = clean_mapping();
+        m.bindings = vec![Some(0), Some(0)];
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::LossyBinding));
+        assert!(r.is_clean(), "lossy is a warning, not an error");
+
+        // Bool source → Float target: incompatible.
+        let mut m2 = clean_mapping();
+        m2.bindings = vec![Some(0), Some(2)];
+        let r2 = check_mapping(&m2, &source());
+        assert!(r2.has_code(Code::IncompatibleBinding));
+    }
+
+    #[test]
+    fn unbound_required_field_is_flagged_as_warning() {
+        let target = Schema::new(vec![
+            Field::new("sku", DataType::Str),
+            Field::required("price", DataType::Float),
+        ])
+        .expect("unique names");
+        let m = Mapping {
+            target,
+            bindings: vec![Some(0), None],
+            binding_beliefs: vec![Belief::from_prior(0.9), Belief::uninformed()],
+            belief: Belief::from_prior(0.5),
+        };
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::UnboundRequired));
+        // Nullability is informational (inferred, not enforced), so an
+        // unbound required field warns rather than blocks.
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn zero_coverage_flagged() {
+        let mut m = clean_mapping();
+        m.bindings = vec![None, None];
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::ZeroCoverage));
+    }
+
+    #[test]
+    fn conflicting_reuse_flagged() {
+        let target = target_schema(&[("price", DataType::Float), ("stocked", DataType::Bool)]);
+        let m = Mapping {
+            target,
+            bindings: vec![Some(1), Some(1)],
+            binding_beliefs: vec![Belief::from_prior(0.9), Belief::from_prior(0.9)],
+            belief: Belief::from_prior(0.5),
+        };
+        let r = check_mapping(&m, &source());
+        assert!(r.has_code(Code::ConflictingReuse), "{r:?}");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let mut m = clean_mapping();
+        m.bindings = vec![Some(99), Some(2)];
+        let a = check_mapping(&m, &source());
+        let b = check_mapping(&m, &source());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plan determinism audit.
+//!
+//! The analyzer cannot see into arbitrary code, so plan producers describe
+//! each step of their pipeline as a [`PlanStep`]: a name plus the determinism
+//! traits that matter — does the step draw randomness, and is that seeded?
+//! does it iterate hash-keyed state into ordered output, and is that order
+//! normalized? does it fan out to parallel workers, and is the merge
+//! order-stable? [`audit_steps`] turns honest answers into diagnostics.
+//!
+//! This keeps `wrangler-lint` free of a dependency on the planner itself:
+//! the core crate converts its `Plan` into `Vec<PlanStep>` and hands it over.
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+
+/// A neutral description of one step in an execution plan, carrying only the
+/// traits the determinism audit cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Step name, used in diagnostics (e.g. `"mapping-generation"`).
+    pub name: String,
+    /// The step draws randomness (sampling, tie-breaking by coin flip).
+    pub randomized: bool,
+    /// The randomness is derived from a declared seed.
+    pub seeded: bool,
+    /// The step iterates hash-keyed state (`HashMap`/`HashSet`) directly into
+    /// order-sensitive output.
+    pub hash_iteration: bool,
+    /// Hash-keyed iteration is normalized (sorted keys / `BTreeMap`) before
+    /// affecting output order.
+    pub order_normalized: bool,
+    /// The step fans work out to parallel workers.
+    pub parallel: bool,
+    /// Worker results are merged in a canonical order (e.g. by source index),
+    /// not completion order.
+    pub merge_ordered: bool,
+}
+
+impl PlanStep {
+    /// A fully deterministic step: no randomness, no hash iteration, serial.
+    pub fn deterministic(name: impl Into<String>) -> PlanStep {
+        PlanStep {
+            name: name.into(),
+            randomized: false,
+            seeded: false,
+            hash_iteration: false,
+            order_normalized: false,
+            parallel: false,
+            merge_ordered: false,
+        }
+    }
+
+    /// Mark the step as drawing randomness; `seeded` says whether from a
+    /// declared seed.
+    pub fn with_randomness(mut self, seeded: bool) -> PlanStep {
+        self.randomized = true;
+        self.seeded = seeded;
+        self
+    }
+
+    /// Mark the step as iterating hash-keyed state; `normalized` says whether
+    /// the order is canonicalized before it matters.
+    pub fn with_hash_iteration(mut self, normalized: bool) -> PlanStep {
+        self.hash_iteration = true;
+        self.order_normalized = normalized;
+        self
+    }
+
+    /// Mark the step as parallel; `merge_ordered` says whether the merge is
+    /// order-stable.
+    pub fn with_parallelism(mut self, merge_ordered: bool) -> PlanStep {
+        self.parallel = true;
+        self.merge_ordered = merge_ordered;
+        self
+    }
+}
+
+/// Audit a described plan for determinism hazards.
+pub fn audit_steps(steps: &[PlanStep]) -> Report {
+    let mut report = Report::new();
+    for step in steps {
+        let locus = Locus::Step(step.name.clone());
+        if step.randomized && !step.seeded {
+            report.push(Diagnostic::new(
+                Code::UnseededStep,
+                locus.clone(),
+                format!("step `{}` draws randomness without a declared seed", step.name),
+            ));
+        }
+        if step.hash_iteration && !step.order_normalized {
+            report.push(Diagnostic::new(
+                Code::HashOrderHazard,
+                locus.clone(),
+                format!(
+                    "step `{}` iterates hash-keyed state into ordered output without \
+                     normalizing the order",
+                    step.name
+                ),
+            ));
+        }
+        if step.parallel && !step.merge_ordered {
+            report.push(Diagnostic::new(
+                Code::UnorderedMerge,
+                locus,
+                format!(
+                    "step `{}` merges parallel worker output in completion order",
+                    step.name
+                ),
+            ));
+        }
+    }
+    report.canonicalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_plan_is_clean() {
+        let steps = vec![
+            PlanStep::deterministic("selection"),
+            PlanStep::deterministic("mapping-generation")
+                .with_hash_iteration(true)
+                .with_parallelism(true)
+                .with_randomness(true),
+        ];
+        let r = audit_steps(&steps);
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unseeded_step_is_error() {
+        let steps = vec![PlanStep::deterministic("sampling").with_randomness(false)];
+        let r = audit_steps(&steps);
+        assert!(r.has_code(Code::UnseededStep));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn hash_order_hazard_is_error() {
+        let steps = vec![PlanStep::deterministic("blocking").with_hash_iteration(false)];
+        let r = audit_steps(&steps);
+        assert!(r.has_code(Code::HashOrderHazard));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unordered_merge_is_warning() {
+        let steps = vec![PlanStep::deterministic("fan-out").with_parallelism(false)];
+        let r = audit_steps(&steps);
+        assert!(r.has_code(Code::UnorderedMerge));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn audit_is_deterministic() {
+        let steps = vec![
+            PlanStep::deterministic("a").with_randomness(false),
+            PlanStep::deterministic("b").with_hash_iteration(false),
+        ];
+        assert_eq!(audit_steps(&steps), audit_steps(&steps));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the static analyzer: a well-typed mapping never
+//! triggers the gate, every seeded corruption class yields its expected
+//! diagnostic code, and the verdict is a pure function of (artifact, seed).
+
+use proptest::prelude::*;
+use wrangler_lint::{
+    check_mapping, check_predicate, corrupt_predicate, inject_mapping_defect, Code, DefectClass,
+    Severity,
+};
+use wrangler_mapping::Mapping;
+use wrangler_table::{DataType, Expr, Field, Schema};
+use wrangler_uncertainty::Belief;
+
+fn arb_dtype() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Str),
+        Just(DataType::Int),
+        Just(DataType::Float),
+        Just(DataType::Bool),
+    ]
+}
+
+/// A well-typed pair (source schema, mapping): each target field is bound to
+/// a distinct source column of the identical dtype.
+fn well_typed(dtypes: &[DataType]) -> (Schema, Mapping) {
+    let source = Schema::new(
+        dtypes
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Field::new(format!("s{i}"), d))
+            .collect(),
+    )
+    .expect("generated names are unique");
+    let target = Schema::new(
+        dtypes
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Field::new(format!("t{i}"), d))
+            .collect(),
+    )
+    .expect("generated names are unique");
+    let n = dtypes.len();
+    let mapping = Mapping {
+        target,
+        bindings: (0..n).map(Some).collect(),
+        binding_beliefs: vec![Belief::from_prior(0.9); n],
+        belief: Belief::from_prior(0.9),
+    };
+    (source, mapping)
+}
+
+proptest! {
+    #[test]
+    fn well_typed_mapping_always_passes(
+        dtypes in prop::collection::vec(arb_dtype(), 1..6),
+    ) {
+        let (source, mapping) = well_typed(&dtypes);
+        let report = check_mapping(&mapping, &source);
+        prop_assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn every_corruption_class_yields_its_code(
+        dtypes in prop::collection::vec(arb_dtype(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let (source, mapping) = well_typed(&dtypes);
+        let baseline = check_mapping(&mapping, &source);
+        for (class, codes) in [
+            (DefectClass::OutOfRangeBinding, &[Code::BindingOutOfRange][..]),
+            (DefectClass::ArityCorruption, &[Code::BindingArityMismatch][..]),
+            (DefectClass::UnbindAll, &[Code::ZeroCoverage][..]),
+            (
+                DefectClass::DtypeFlip,
+                &[Code::LossyBinding, Code::IncompatibleBinding][..],
+            ),
+        ] {
+            // A fully bound identity mapping offers a site for every class.
+            let bad = inject_mapping_defect(&mapping, &source, class, seed);
+            let Some(bad) = bad else {
+                prop_assert!(false, "{class:?} found no injection site");
+                unreachable!()
+            };
+            let report = check_mapping(&bad, &source);
+            prop_assert!(
+                codes.iter().any(|&c| report.has_code(c)),
+                "{class:?}: expected one of {codes:?} in {report:?}"
+            );
+            prop_assert!(
+                !report.newly_versus(&baseline).is_empty(),
+                "{class:?}: no finding beyond baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_is_deterministic_per_seed(
+        dtypes in prop::collection::vec(arb_dtype(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let (source, mapping) = well_typed(&dtypes);
+        for class in DefectClass::MAPPING_CLASSES {
+            let a = inject_mapping_defect(&mapping, &source, class, seed)
+                .map(|m| check_mapping(&m, &source));
+            let b = inject_mapping_defect(&mapping, &source, class, seed)
+                .map(|m| check_mapping(&m, &source));
+            prop_assert_eq!(a, b, "{:?}", class);
+        }
+    }
+
+    #[test]
+    fn corrupted_predicate_is_rejected_deterministically(seed in any::<u64>()) {
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+        .expect("unique names");
+        let clean = Expr::col("price").gt(Expr::lit(1.0));
+        prop_assert!(check_predicate(&clean, &schema).is_clean());
+        let bad = corrupt_predicate(&clean, &schema, seed);
+        prop_assert!(bad.is_some(), "schema offers corruption sites");
+        let bad = bad.expect("just checked");
+        let report = check_predicate(&bad, &schema);
+        prop_assert!(
+            report.diagnostics().iter().any(|d| d.severity == Severity::Error),
+            "corruption must be deny-grade: {report:?}"
+        );
+        prop_assert_eq!(report, check_predicate(&bad, &schema));
+    }
+}

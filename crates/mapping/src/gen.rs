@@ -37,7 +37,7 @@ pub fn generate_mapping(
                 }
             }
         }
-        Schema::new(fields).expect("names unchanged")
+        Schema::new(fields).expect("names unchanged") // lint-allow: names copied from a schema that enforced uniqueness
     };
     let mut bindings = vec![None; target.len()];
     let mut binding_beliefs = vec![Belief::uninformed(); target.len()];

@@ -85,7 +85,7 @@ impl Mapping {
 /// Build the canonical target schema from field names + dtypes.
 pub fn target_schema(fields: &[(&str, wrangler_table::DataType)]) -> Schema {
     Schema::new(fields.iter().map(|(n, d)| Field::new(*n, *d)).collect())
-        .expect("caller supplies unique names")
+        .expect("caller supplies unique names") // lint-allow: documented contract of this helper
 }
 
 #[cfg(test)]

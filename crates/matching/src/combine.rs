@@ -152,12 +152,8 @@ pub fn match_schemas(
     ontology: Option<&Ontology>,
     cfg: &MatchConfig,
 ) -> Vec<Correspondence> {
-    let left_profiles: Vec<InstanceProfile> = (0..left.num_columns())
-        .map(|i| profile(left.column(i).expect("in bounds")))
-        .collect();
-    let right_profiles: Vec<InstanceProfile> = (0..right.num_columns())
-        .map(|i| profile(right.column(i).expect("in bounds")))
-        .collect();
+    let left_profiles: Vec<InstanceProfile> = left.columns().map(profile).collect();
+    let right_profiles: Vec<InstanceProfile> = right.columns().map(profile).collect();
     let mut out = Vec::new();
     for (li, lp) in left_profiles.iter().enumerate() {
         let lname = &left.schema().fields()[li].name;

@@ -11,7 +11,7 @@
 //! the standard practical compromises: single/double-column LHS mining with
 //! support & confidence thresholds, and greedy repair.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wrangler_table::{Table, Value};
 
@@ -80,7 +80,9 @@ impl Cfd {
     /// LHS cells — nulls neither match nor violate, per the usual semantics).
     fn row_in_scope(&self, table: &Table, i: usize) -> bool {
         for (&c, p) in self.fd.lhs.iter().zip(&self.lhs_patterns) {
-            let v = table.get(i, c).expect("in bounds");
+            // A rule referencing a column the table lacks is simply out of
+            // scope for every row — CFDs may outlive schema changes.
+            let Ok(v) = table.get(i, c) else { return false };
             if v.is_null() || !p.matches(v) {
                 return false;
             }
@@ -116,7 +118,9 @@ pub fn violations(table: &Table, cfd: &Cfd) -> Vec<Violation> {
                 if !cfd.row_in_scope(table, i) {
                     continue;
                 }
-                let v = table.get(i, cfd.fd.rhs).expect("in bounds");
+                let Ok(v) = table.get(i, cfd.fd.rhs) else {
+                    continue;
+                };
                 if !v.is_null() && v != c {
                     out.push(Violation {
                         rows: vec![i],
@@ -127,25 +131,28 @@ pub fn violations(table: &Table, cfd: &Cfd) -> Vec<Violation> {
             }
         }
         Pattern::Any => {
-            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            // BTreeMap keeps groups in key order, so iteration below is
+            // deterministic without an explicit sort.
+            let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
             for i in 0..table.num_rows() {
                 if !cfd.row_in_scope(table, i) {
                     continue;
                 }
-                let key: Vec<Value> = cfd
+                let key: Option<Vec<Value>> = cfd
                     .fd
                     .lhs
                     .iter()
-                    .map(|&c| table.get(i, c).unwrap().clone())
+                    .map(|&c| table.get(i, c).ok().cloned())
                     .collect();
+                let Some(key) = key else { continue };
                 groups.entry(key).or_default().push(i);
             }
-            let mut keyed: Vec<(Vec<Value>, Vec<usize>)> = groups.into_iter().collect();
-            keyed.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
-            for (_, rows) in keyed {
+            for (_, rows) in groups {
                 let mut distinct: Vec<Value> = Vec::new();
                 for &i in &rows {
-                    let v = table.get(i, cfd.fd.rhs).unwrap();
+                    let Ok(v) = table.get(i, cfd.fd.rhs) else {
+                        continue;
+                    };
                     if !v.is_null() && !distinct.contains(v) {
                         distinct.push(v.clone());
                     }
@@ -249,12 +256,12 @@ pub fn mine_fds(table: &Table, cfg: &MineConfig) -> Vec<Fd> {
 
 /// Returns (rows covered, confidence, group count) for candidate `lhs → rhs`.
 fn evaluate_fd(table: &Table, lhs: &[usize], rhs: usize) -> Option<(usize, f64, usize)> {
-    let mut groups: HashMap<Vec<&Value>, HashMap<&Value, usize>> = HashMap::new();
+    let mut groups: BTreeMap<Vec<&Value>, BTreeMap<&Value, usize>> = BTreeMap::new();
     for i in 0..table.num_rows() {
         let mut key = Vec::with_capacity(lhs.len());
         let mut null = false;
         for &c in lhs {
-            let v = table.get(i, c).unwrap();
+            let Ok(v) = table.get(i, c) else { return None };
             if v.is_null() {
                 null = true;
                 break;
@@ -264,7 +271,7 @@ fn evaluate_fd(table: &Table, lhs: &[usize], rhs: usize) -> Option<(usize, f64, 
         if null {
             continue;
         }
-        let v = table.get(i, rhs).unwrap();
+        let Ok(v) = table.get(i, rhs) else { return None };
         if v.is_null() {
             continue;
         }
@@ -295,19 +302,19 @@ pub fn mine_constant_cfds(table: &Table, cfg: &MineConfig) -> Vec<Cfd> {
                 continue;
             }
             // Group rows by LHS value; look for dominant RHS constants.
-            let mut groups: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
+            // Key-ordered map iteration keeps the emitted rule order (and
+            // max-tie resolution below) deterministic.
+            let mut groups: BTreeMap<&Value, BTreeMap<&Value, usize>> = BTreeMap::new();
             for i in 0..table.num_rows() {
-                let l = table.get(i, lhs).unwrap();
-                let r = table.get(i, rhs).unwrap();
+                let (Ok(l), Ok(r)) = (table.get(i, lhs), table.get(i, rhs)) else {
+                    continue;
+                };
                 if l.is_null() || r.is_null() {
                     continue;
                 }
                 *groups.entry(l).or_default().entry(r).or_insert(0) += 1;
             }
-            let mut items: Vec<(&Value, &HashMap<&Value, usize>)> =
-                groups.iter().map(|(k, v)| (*k, v)).collect();
-            items.sort_by(|a, b| a.0.cmp(b.0));
-            for (lval, counts) in items {
+            for (&lval, counts) in &groups {
                 let total: usize = counts.values().sum();
                 if total < cfg.min_support {
                     continue;

@@ -23,7 +23,7 @@ fn median(xs: &mut [f64]) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     Some(if n % 2 == 1 {
         xs[n / 2]
@@ -48,9 +48,13 @@ pub fn numeric_outliers(values: &[Value], threshold: f64) -> Vec<Outlier> {
         return Vec::new();
     }
     let mut xs: Vec<f64> = numeric.iter().map(|(_, x)| *x).collect();
-    let med = median(&mut xs).expect("nonempty");
+    let Some(med) = median(&mut xs) else {
+        return Vec::new();
+    };
     let mut devs: Vec<f64> = numeric.iter().map(|(_, x)| (x - med).abs()).collect();
-    let mad = median(&mut devs).expect("nonempty");
+    let Some(mad) = median(&mut devs) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for (i, x) in &numeric {
         let score = if mad > 0.0 {

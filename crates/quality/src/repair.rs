@@ -8,7 +8,7 @@
 //! the cost of cells they distrust, e.g. from low-trust sources, and raise it
 //! for user-confirmed cells, wiring feedback into cleaning).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wrangler_table::{Table, Value};
 
@@ -18,7 +18,7 @@ use crate::fd::{violations, Cfd, Pattern};
 #[derive(Debug, Clone)]
 pub struct CostModel {
     default_cost: f64,
-    overrides: HashMap<(usize, usize), f64>,
+    overrides: BTreeMap<(usize, usize), f64>,
 }
 
 impl CostModel {
@@ -26,7 +26,7 @@ impl CostModel {
     pub fn uniform(default_cost: f64) -> CostModel {
         CostModel {
             default_cost,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -104,19 +104,26 @@ pub fn repair(
                     Pattern::Const(c) => {
                         for &row in &v.rows {
                             let cost = costs.cost(row, v.column);
-                            if cost.is_finite() {
-                                let old = t.get(row, v.column).unwrap().clone();
-                                t.set(row, v.column, c.clone()).unwrap();
-                                report.repairs.push(Repair {
-                                    row,
-                                    column: v.column,
-                                    old,
-                                    new: c.clone(),
-                                    cost,
-                                });
-                                report.total_cost += cost;
-                                changed = true;
+                            if !cost.is_finite() {
+                                continue;
                             }
+                            // Violations come from this very table, so the
+                            // cell exists; a failed get/set just skips it.
+                            let Ok(old) = t.get(row, v.column).cloned() else {
+                                continue;
+                            };
+                            if t.set(row, v.column, c.clone()).is_err() {
+                                continue;
+                            }
+                            report.repairs.push(Repair {
+                                row,
+                                column: v.column,
+                                old,
+                                new: c.clone(),
+                                cost,
+                            });
+                            report.total_cost += cost;
+                            changed = true;
                         }
                     }
                     Pattern::Any => {
@@ -126,7 +133,9 @@ pub fn repair(
                             let mut cost = 0.0;
                             let mut feasible = true;
                             for &row in &v.rows {
-                                let cur = t.get(row, v.column).unwrap();
+                                let Ok(cur) = t.get(row, v.column) else {
+                                    continue;
+                                };
                                 if cur.is_null() || cur == cand {
                                     continue;
                                 }
@@ -143,12 +152,16 @@ pub fn repair(
                         }
                         if let Some((target, _)) = best {
                             for &row in &v.rows {
-                                let cur = t.get(row, v.column).unwrap().clone();
+                                let Ok(cur) = t.get(row, v.column).cloned() else {
+                                    continue;
+                                };
                                 if cur.is_null() || cur == target {
                                     continue;
                                 }
                                 let cost = costs.cost(row, v.column);
-                                t.set(row, v.column, target.clone()).unwrap();
+                                if t.set(row, v.column, target.clone()).is_err() {
+                                    continue;
+                                }
                                 report.repairs.push(Repair {
                                     row,
                                     column: v.column,

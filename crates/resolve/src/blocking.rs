@@ -5,7 +5,7 @@
 //! records within a sliding window of a sort order. Completeness vs cost is
 //! experiment E7's subject.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wrangler_table::{Table, Value};
 
@@ -37,17 +37,16 @@ pub fn candidates_blocked(
     column: &str,
 ) -> wrangler_table::Result<Vec<(usize, usize)>> {
     let col = table.column_named(column)?;
-    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    // BTreeMap iterates in key order, so the emitted pair order is
+    // deterministic without an explicit sort.
+    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, v) in col.iter().enumerate() {
         if let Some(k) = block_key(v) {
             blocks.entry(k).or_default().push(i);
         }
     }
-    let mut keys: Vec<&String> = blocks.keys().collect();
-    keys.sort(); // deterministic pair order
     let mut out = Vec::new();
-    for k in keys {
-        let rows = &blocks[k];
+    for rows in blocks.values() {
         for a in 0..rows.len() {
             for b in (a + 1)..rows.len() {
                 out.push((rows[a], rows[b]));
@@ -65,7 +64,7 @@ pub fn candidates_blocked_exact(
     column: &str,
 ) -> wrangler_table::Result<Vec<(usize, usize)>> {
     let col = table.column_named(column)?;
-    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, v) in col.iter().enumerate() {
         if !v.is_null() {
             blocks
@@ -74,11 +73,8 @@ pub fn candidates_blocked_exact(
                 .push(i);
         }
     }
-    let mut keys: Vec<&String> = blocks.keys().collect();
-    keys.sort();
     let mut out = Vec::new();
-    for k in keys {
-        let rows = &blocks[k];
+    for rows in blocks.values() {
         for a in 0..rows.len() {
             for b in (a + 1)..rows.len() {
                 out.push((rows[a], rows[b]));

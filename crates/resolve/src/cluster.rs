@@ -67,16 +67,16 @@ impl UnionFind {
     /// Materialize all sets, ordered by their smallest member; members sorted.
     pub fn clusters(&mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for x in 0..n {
             let r = self.find(x);
             by_root.entry(r).or_default().push(x);
         }
+        // Members arrive in ascending x, so each set is already sorted and
+        // keyed iteration yields the sets in root order; re-sort by smallest
+        // member for a root-independent contract.
         let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
-        for c in &mut out {
-            c.sort_unstable();
-        }
         out.sort_by_key(|c| c[0]);
         out
     }

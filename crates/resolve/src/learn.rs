@@ -82,7 +82,7 @@ pub fn fit_threshold(
         .map(|l| record_similarity(table, l.i, l.j, cfg))
         .collect::<wrangler_table::Result<_>>()?;
     scores.push(0.5);
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("similarities are not NaN"));
+    scores.sort_by(f64::total_cmp);
     scores.dedup();
     let mut best = (cfg.threshold, 0.0);
     for &t in &scores {

@@ -166,7 +166,7 @@ pub fn generate_locations(cfg: &CheckinConfig, seed: u64) -> LocationWorld {
         ]);
         defects.push((wrong_geo, misspelled, false));
     }
-    let checkins = Table::literal(&["place", "lat", "lon", "url"], rows).expect("consistent arity");
+    let checkins = Table::literal(&["place", "lat", "lon", "url"], rows).expect("consistent arity"); // lint-allow: literal rows, fixed arity
     LocationWorld {
         businesses,
         checkins,
@@ -197,7 +197,7 @@ impl LocationWorld {
             &["url", "name", "address", "city", "lat", "lon", "category"],
             rows,
         )
-        .expect("consistent arity")
+        .expect("consistent arity") // lint-allow: literal rows, fixed arity
     }
 
     /// Find the true business for a (possibly misspelled) check-in name by

@@ -82,7 +82,7 @@ impl GroundTruth {
                 ]
             })
             .collect();
-        Table::literal(&["sku", "name", "brand", "category"], rows).expect("consistent arity")
+        Table::literal(&["sku", "name", "brand", "category"], rows).expect("consistent arity") // lint-allow: literal rows, fixed arity
     }
 }
 
@@ -351,7 +351,7 @@ fn derive_source_table(
         rows.push(row);
     }
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    Table::literal(&name_refs, rows).expect("consistent arity")
+    Table::literal(&name_refs, rows).expect("consistent arity") // lint-allow: rows built to name_refs arity
 }
 
 /// Corrupt one value (veracity injection).

@@ -31,7 +31,7 @@ pub mod value;
 
 pub use error::TableError;
 pub use expr::Expr;
-pub use schema::{DataType, Field, Schema};
+pub use schema::{CastSafety, DataType, Field, Schema};
 pub use table::Table;
 pub use value::Value;
 

@@ -5,7 +5,7 @@
 //! sorting, distinct, union, equi-join (hash join), and group-by with
 //! aggregates. All operators are pure: they return new tables.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // hash-ok: maps below are probes/dedup sets; output order always follows row order
 
 use crate::expr::{BoundExpr, Expr};
 use crate::schema::{DataType, Field, Schema};
@@ -109,7 +109,7 @@ pub fn sort_by(table: &Table, names: &[&str]) -> Result<Table> {
     let mut order: Vec<usize> = (0..table.num_rows()).collect();
     order.sort_by(|&a, &b| {
         for &c in &idx {
-            let col = table.column(c).expect("validated");
+            let col = table.column(c).expect("validated"); // lint-allow: columns validated at function entry
             let ord = col[a].cmp(&col[b]);
             if !ord.is_eq() {
                 return ord;
@@ -122,6 +122,7 @@ pub fn sort_by(table: &Table, names: &[&str]) -> Result<Table> {
 
 /// Remove duplicate rows, keeping first occurrence (order preserved).
 pub fn distinct(table: &Table) -> Table {
+    // hash-ok: membership test; kept rows follow input row order
     let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(table.num_rows());
     let mut keep = Vec::with_capacity(table.num_rows());
     for i in 0..table.num_rows() {
@@ -150,6 +151,7 @@ pub fn join(left: &Table, right: &Table, on_left: &str, on_right: &str) -> Resul
     // Build phase on the smaller side would be the classic optimization; for
     // clarity we always build on the right.
     let rcol = right.column(ri)?;
+    // hash-ok: join probe index; output order follows left row order
     let mut index: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(right.num_rows());
     for (i, v) in rcol.iter().enumerate() {
         if !v.is_null() {
@@ -157,6 +159,7 @@ pub fn join(left: &Table, right: &Table, on_left: &str, on_right: &str) -> Resul
         }
     }
     let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    // hash-ok: collision membership test only
     let mut names: std::collections::HashSet<String> =
         fields.iter().map(|f| f.name.clone()).collect();
     for f in right.schema().fields() {
@@ -202,6 +205,7 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[(Agg, &str)]) -> Result<Ta
         .map(|(a, n)| Ok((*a, table.schema().index_of(n)?)))
         .collect::<Result<_>>()?;
 
+    // hash-ok: key -> output slot; slots allocated in first-encounter row order
     let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
@@ -209,7 +213,7 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[(Agg, &str)]) -> Result<Ta
     for i in 0..table.num_rows() {
         let key: Vec<Value> = key_idx
             .iter()
-            .map(|&c| table.get(i, c).unwrap().clone())
+            .map(|&c| table.get(i, c).unwrap().clone()) // lint-allow: key columns validated at function entry
             .collect();
         let gi = *groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
@@ -217,16 +221,16 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[(Agg, &str)]) -> Result<Ta
             order.len() - 1
         });
         for (s, (_, c)) in states[gi].iter_mut().zip(&agg_idx) {
-            s.update(table.get(i, *c).unwrap());
+            s.update(table.get(i, *c).unwrap()); // lint-allow: agg columns validated at function entry
         }
     }
 
     let mut fields: Vec<Field> = key_idx
         .iter()
-        .map(|&i| table.schema().field(i).unwrap().clone())
+        .map(|&i| table.schema().field(i).unwrap().clone()) // lint-allow: key columns validated at function entry
         .collect();
     for (a, c) in &agg_idx {
-        let base = &table.schema().field(*c).unwrap().name;
+        let base = &table.schema().field(*c).unwrap().name; // lint-allow: agg columns validated at function entry
         let mut name = format!("{}_{}", a.name(), base);
         while fields.iter().any(|f| f.name == name) {
             name.push('_');
@@ -333,6 +337,7 @@ pub fn left_join(left: &Table, right: &Table, on_left: &str, on_right: &str) -> 
     let inner = join(left, right, on_left, on_right)?;
     let li = left.schema().index_of(on_left)?;
     let ri = right.schema().index_of(on_right)?;
+    // hash-ok: membership test; output follows row order
     let mut matched: std::collections::HashSet<&Value> = std::collections::HashSet::new();
     for v in right.column(ri)? {
         if !v.is_null() {

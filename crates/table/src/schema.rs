@@ -20,6 +20,28 @@ pub enum DataType {
     Str,
 }
 
+/// How safe a cast from one [`DataType`] to another is, statically.
+///
+/// This is the lattice the static analyzer (`wrangler-lint`) consults before
+/// any value is touched: it classifies what [`crate::Value::coerce`] and the
+/// mapping normalizer can be *guaranteed* to do for arbitrary values of the
+/// source type, not what they happen to do for one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CastSafety {
+    /// Every value of the source type converts without information loss
+    /// (identity, `Null` → anything, `Int` → `Float` within 2^53, anything
+    /// → `Str` rendering).
+    Lossless,
+    /// Conversion is defined but may lose information or fail per-value
+    /// (`Float` → `Int` truncates non-integral values, `Str` → numeric parses
+    /// only some strings, `Str` → `Bool` accepts a closed vocabulary).
+    Lossy,
+    /// No conversion exists; at runtime the value either raises a type error
+    /// or passes through unchanged, silently corrupting the column's dtype
+    /// (`Bool` → `Int`/`Float`, `Float`/`Int` → `Bool` aside).
+    Incompatible,
+}
+
 impl DataType {
     /// Least upper bound of two types in the coercion lattice:
     /// `Null` is bottom, `Int ⊔ Float = Float`, anything else mixed is `Str`.
@@ -36,6 +58,35 @@ impl DataType {
     /// True if this is `Int` or `Float`.
     pub fn is_numeric(self) -> bool {
         matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Classify a cast from `self` into `target` (see [`CastSafety`]).
+    ///
+    /// The rules mirror [`crate::Value::coerce`] plus the messy-number
+    /// recovery mapping execution layers on top of it:
+    ///
+    /// * identity and `Null` → anything are lossless;
+    /// * anything → `Str` renders losslessly; anything → `Null` keeps the
+    ///   value as-is (the untyped target accepts everything);
+    /// * `Int` → `Float` is treated as lossless (the system's integers come
+    ///   from counting and parsing, far below 2^53);
+    /// * `Float` → `Int`, `Str` → numeric, `Str` → `Bool` and `Int` → `Bool`
+    ///   are lossy: defined, but truncating or partial;
+    /// * `Bool` → numeric and `Float` → `Bool` have no defined conversion.
+    pub fn cast_safety(self, target: DataType) -> CastSafety {
+        use DataType::*;
+        match (self, target) {
+            (a, b) if a == b => CastSafety::Lossless,
+            (Null, _) | (_, Null) | (_, Str) | (Int, Float) => CastSafety::Lossless,
+            (Float, Int) | (Str, Int) | (Str, Float) | (Str, Bool) | (Int, Bool) => {
+                CastSafety::Lossy
+            }
+            (Bool, Int) | (Bool, Float) | (Float, Bool) => CastSafety::Incompatible,
+            // Same-type pairs are caught by the guard arm above; these arms
+            // are listed so the match stays total without a wildcard that
+            // could silently swallow a future DataType variant.
+            (Bool, Bool) | (Int, Int) | (Float, Float) => CastSafety::Lossless,
+        }
     }
 }
 
@@ -110,7 +161,7 @@ impl Schema {
                 .map(|n| Field::new(*n, DataType::Str))
                 .collect(),
         )
-        .expect("caller guarantees unique names")
+        .expect("caller guarantees unique names") // lint-allow: documented contract of this helper
     }
 
     /// Empty schema.
@@ -234,6 +285,23 @@ mod tests {
         assert_eq!(Int.unify(Str), Str);
         assert_eq!(Bool.unify(Bool), Bool);
         assert_eq!(Bool.unify(Int), Str);
+    }
+
+    #[test]
+    fn cast_safety_lattice() {
+        use CastSafety::*;
+        use DataType::*;
+        assert_eq!(Int.cast_safety(Int), Lossless);
+        assert_eq!(Null.cast_safety(Float), Lossless);
+        assert_eq!(Float.cast_safety(Str), Lossless);
+        assert_eq!(Int.cast_safety(Float), Lossless);
+        assert_eq!(Float.cast_safety(Int), Lossy);
+        assert_eq!(Str.cast_safety(Float), Lossy);
+        assert_eq!(Str.cast_safety(Bool), Lossy);
+        assert_eq!(Bool.cast_safety(Float), Incompatible);
+        assert_eq!(Float.cast_safety(Bool), Incompatible);
+        // Safety never *improves* along a chain: ordering is meaningful.
+        assert!(Lossless < Lossy && Lossy < Incompatible);
     }
 
     #[test]

@@ -148,6 +148,11 @@ impl Table {
         self.column(self.schema.index_of(name)?)
     }
 
+    /// Iterate all columns in schema order.
+    pub fn columns(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.columns.iter().map(Vec::as_slice)
+    }
+
     /// Materialize row `i` as an owned vector.
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c[i].clone()).collect()
@@ -175,7 +180,7 @@ impl Table {
             f.dtype = dt;
             f.nullable = nullable;
         }
-        self.schema = Schema::new(fields).expect("names unchanged");
+        self.schema = Schema::new(fields).expect("names unchanged"); // lint-allow: renaming one field cannot break uniqueness the caller checked
     }
 
     /// New table keeping only rows whose index passes `keep`.

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Source-level lint gate (the repo-side twin of `wrangler-lint`'s artifact
+# analysis). Two rules, both enforced in CI via scripts/verify.sh:
+#
+#   1. No `.unwrap()` / `.expect(` in library crate `src/` outside test code.
+#      Library code must propagate errors; a deliberate invariant may stay if
+#      the line carries a `lint-allow: <reason>` comment.
+#
+#   2. No `HashMap` / `HashSet` in determinism-critical modules — the files
+#      whose iteration order feeds ordered output, per the plan determinism
+#      audit (`wrangler_lint::audit_steps`, `Plan::describe`). Use `BTreeMap`/
+#      `BTreeSet`, or justify a pure-lookup map with a `hash-ok: <reason>`
+#      comment.
+#
+# Scanning stops at the first `#[cfg(test)]` in a file: this repo keeps test
+# modules at the end of each source file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Rule 1: panics in library code -----------------------------------------
+# Library sources only: crates/*/src plus the root src/, excluding bin/
+# targets (experiment drivers print and panic freely) and the test shims.
+lib_sources() {
+  find crates/*/src src -name '*.rs' -not -path '*/src/bin/*' 2>/dev/null | sort
+}
+
+scan_panics() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }  # comment / doc-example lines
+    /\.unwrap\(\)|\.expect\(/ {
+      if ($0 !~ /lint-allow:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+    }
+  ' "$f"
+}
+
+panic_hits=$(for f in $(lib_sources); do scan_panics "$f"; done)
+if [ -n "$panic_hits" ]; then
+  echo "lint: unwrap()/expect( in library code (add \`// lint-allow: <reason>\` only for true invariants):"
+  echo "$panic_hits"
+  fail=1
+fi
+
+# --- Rule 2: hash collections in determinism-critical modules ---------------
+DETERMINISM_CRITICAL=(
+  crates/quality/src/fd.rs
+  crates/quality/src/repair.rs
+  crates/resolve/src/blocking.rs
+  crates/resolve/src/cluster.rs
+  crates/extract/src/induce.rs
+  crates/extract/src/repair.rs
+  crates/fusion/src/claims.rs
+  crates/fusion/src/truthfinder.rs
+  crates/table/src/ops.rs
+  crates/core/src/wrangler.rs
+)
+
+scan_hash() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /HashMap|HashSet/ {
+      if ($0 !~ /hash-ok:/ && prev !~ /hash-ok:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+    }
+    { prev = $0 }
+  ' "$f"
+}
+
+hash_hits=$(for f in "${DETERMINISM_CRITICAL[@]}"; do
+  [ -f "$f" ] && scan_hash "$f" || true
+done)
+if [ -n "$hash_hits" ]; then
+  echo "lint: HashMap/HashSet in determinism-critical module (use BTreeMap/BTreeSet or add \`// hash-ok: <reason>\`):"
+  echo "$hash_hits"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: clean"

@@ -16,11 +16,19 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> scripts/lint.sh (source-level gate)"
+scripts/lint.sh
+
 echo "==> e11 determinism (two runs must be byte-identical)"
 tmp_a=$(mktemp) && tmp_b=$(mktemp)
 trap 'rm -f "$tmp_a" "$tmp_b"' EXIT
 ./target/release/e11_robustness > "$tmp_a"
 ./target/release/e11_robustness > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
+echo "==> e12 determinism (two runs must be byte-identical)"
+./target/release/e12_lint > "$tmp_a"
+./target/release/e12_lint > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
 echo "verify: all green"

@@ -43,6 +43,7 @@ pub use wrangler_core as core;
 pub use wrangler_extract as extract;
 pub use wrangler_feedback as feedback;
 pub use wrangler_fusion as fusion;
+pub use wrangler_lint as lint;
 pub use wrangler_mapping as mapping;
 pub use wrangler_match as matching;
 pub use wrangler_quality as quality;
@@ -58,6 +59,7 @@ pub mod prelude {
         suggest_feedback_targets, Plan, UncertainView, WrangleOutcome, Wrangler,
     };
     pub use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
+    pub use wrangler_lint::{Diagnostic, GateMode, Report, Severity};
     pub use wrangler_sources::{FleetConfig, SourceId, SourceMeta, SourceRegistry};
     pub use wrangler_table::{DataType, Expr, Schema, Table, Value};
     pub use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
