@@ -1,0 +1,173 @@
+//! E13 — pipeline observability: overhead and stage attribution (§4.2).
+//!
+//! Claim under test: the `wrangler-obs` telemetry layer is cheap enough to
+//! leave on (<5% wall-clock overhead versus `ObsMode::Off` on the 40-source
+//! workload) and informative enough to attribute where a wrangle's time goes
+//! (direct-child stage spans cover ≥95% of the root span's wall clock).
+//!
+//! Protocol: per fleet size, build a fresh session and wrangle once with
+//! telemetry on, recording per-stage wall-clock shares from the span tree.
+//! For the overhead measurement, run `REPS` fresh sessions per mode on the
+//! largest fleet and compare median wall clock On vs Off. Timings are
+//! wall-clock and therefore vary run to run; the *count* half of the metrics
+//! report is a pure function of the seeded data flow. `--counts` prints only
+//! that half, and CI double-runs it to assert byte-identical output. A full
+//! run also writes `BENCH_e13.json` with the machine-readable results.
+//!
+//! `lint-allow:` exemptions here follow the experiment-binary convention:
+//! drivers may panic on their own fixtures.
+
+use std::time::Instant;
+
+use wrangler_bench::{default_fleet_config, fleet, header, row, session};
+use wrangler_context::UserContext;
+use wrangler_core::{ObsMode, Wrangler};
+use wrangler_sources::FleetConfig;
+
+const SEED: u64 = 1301;
+const FLEET_SIZES: [usize; 3] = [10, 20, 40];
+const REPS: usize = 5;
+
+/// The pipeline stages in execution order (direct children of "wrangle").
+const STAGES: [&str; 9] = [
+    "select",
+    "acquire",
+    "map_generate",
+    "preflight",
+    "map_apply",
+    "union",
+    "er",
+    "fuse",
+    "assemble",
+];
+
+fn build(num_sources: usize, mode: ObsMode) -> Wrangler {
+    let cfg = FleetConfig {
+        num_sources,
+        ..default_fleet_config()
+    };
+    let f = fleet(&cfg, SEED);
+    session(&f, UserContext::balanced("e13")).with_obs_mode(mode)
+}
+
+/// Median wall-clock seconds of `REPS` fresh wrangles under `mode`.
+fn median_wall(num_sources: usize, mode: ObsMode) -> f64 {
+    let mut walls: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let mut w = build(num_sources, mode);
+            let t = Instant::now();
+            w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
+}
+
+fn main() {
+    let counts_only = std::env::args().any(|a| a == "--counts");
+    if counts_only {
+        // Deterministic half only: counts and gauges of the largest workload,
+        // byte-identical across runs of the same build on the same machine.
+        let mut w = build(*FLEET_SIZES.last().expect("const non-empty"), ObsMode::On); // lint-allow: const fixture
+        w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+        print!("{}", w.metrics().render_counts());
+        return;
+    }
+
+    println!("E13: observability overhead + per-stage attribution (200 products)");
+    println!("(share% = stage span wall / root span wall from the telemetry span tree;");
+    println!(" coverage% = sum of direct-child stage shares — unattributed time is");
+    println!(" span bookkeeping and inter-stage glue)\n");
+
+    // --- Per-stage attribution across fleet sizes ---------------------------
+    let widths = [7, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 9];
+    let mut names = vec!["sources", "wall_ms"];
+    names.extend(STAGES.iter().map(|s| match *s {
+        "map_generate" => "map_gen",
+        "map_apply" => "map_app",
+        "preflight" => "preflt",
+        "assemble" => "asm",
+        other => other,
+    }));
+    names.push("coverage%");
+    println!("{}", header(&names, &widths));
+
+    let mut fleets_json = Vec::new();
+    for &n in &FLEET_SIZES {
+        let mut w = build(n, ObsMode::On);
+        w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+        let m = w.metrics();
+        let root_ns = m.timings.get("wrangle").map_or(0, |t| t.nanos);
+        let share = |stage: &str| -> f64 {
+            let ns = m.timings.get(&format!("wrangle/{stage}")).map_or(0, |t| t.nanos);
+            if root_ns == 0 {
+                0.0
+            } else {
+                ns as f64 / root_ns as f64
+            }
+        };
+        let coverage = m.stage_coverage("wrangle");
+        let mut cells = vec![
+            n.to_string(),
+            format!("{:.1}", root_ns as f64 / 1e6),
+        ];
+        cells.extend(STAGES.iter().map(|s| format!("{:.1}", 100.0 * share(s))));
+        cells.push(format!("{:.1}", 100.0 * coverage));
+        println!("{}", row(&cells, &widths));
+        let stage_json = STAGES
+            .iter()
+            .map(|s| format!("\"{s}\":{:.4}", share(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        fleets_json.push(format!(
+            "{{\"sources\":{n},\"wall_ms\":{:.3},\"coverage\":{:.4},\"stage_shares\":{{{stage_json}}}}}",
+            root_ns as f64 / 1e6,
+            coverage
+        ));
+    }
+
+    // --- Overhead: On vs Off on the largest workload ------------------------
+    let big = *FLEET_SIZES.last().expect("const non-empty"); // lint-allow: const fixture
+    let off = median_wall(big, ObsMode::Off);
+    let on = median_wall(big, ObsMode::On);
+    let overhead = if off > 0.0 { on / off - 1.0 } else { 0.0 };
+    println!(
+        "\noverhead at {big} sources (median of {REPS} fresh sessions):\n  \
+         off = {:.1} ms, on = {:.1} ms, overhead = {:+.2}%  (budget: <5%)",
+        off * 1e3,
+        on * 1e3,
+        overhead * 100.0
+    );
+    let verdict_overhead = overhead < 0.05;
+    let verdict_coverage = {
+        let mut w = build(big, ObsMode::On);
+        w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+        w.metrics().stage_coverage("wrangle") >= 0.95
+    };
+    println!(
+        "verdict: overhead {} budget, stage coverage {} 95% floor",
+        if verdict_overhead { "within" } else { "OVER" },
+        if verdict_coverage { "meets" } else { "BELOW" },
+    );
+
+    // --- Machine-readable results -------------------------------------------
+    let mut w = build(big, ObsMode::On);
+    w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+    let json = format!(
+        "{{\"experiment\":\"e13_observability\",\"seed\":{SEED},\
+         \"overhead\":{{\"off_s\":{off:.6},\"on_s\":{on:.6},\"fraction\":{overhead:.6}}},\
+         \"fleets\":[{}],\"metrics\":{}}}\n",
+        fleets_json.join(","),
+        w.metrics().to_json()
+    );
+    match std::fs::write("BENCH_e13.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_e13.json"),
+        Err(e) => println!("\ncould not write BENCH_e13.json: {e}"),
+    }
+
+    println!("\nShape expected: er dominates (pairwise matching over the whole union),");
+    println!("fuse is the runner-up, and every other stage stays single-digit — so any");
+    println!("future ER optimisation is where the wall-clock actually is.");
+    println!("Counts and gauges are seeded-deterministic; re-run with --counts and diff.");
+}

@@ -147,8 +147,7 @@ impl UserContext {
         let mut idx: Vec<usize> = (0..candidates.len()).collect();
         idx.sort_by(|&a, &b| {
             self.utility(&candidates[b])
-                .partial_cmp(&self.utility(&candidates[a]))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.utility(&candidates[a]))
                 .then(a.cmp(&b))
         });
         idx

@@ -21,6 +21,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wrangler_obs::CounterSet;
 use wrangler_sources::faults::{AcquireError, Degradation};
 use wrangler_sources::{SourceId, SourceRegistry};
 use wrangler_table::Table;
@@ -278,6 +279,11 @@ pub struct AcquisitionReport {
     pub attempts: u64,
     /// Total virtual ticks this pass (the retry-cost axis of E11).
     pub ticks: u64,
+    /// Telemetry events this pass: `retries`, `breaker_trips`,
+    /// `quarantine_skips`, `backoff_ticks`, `rate_limit_stretches`,
+    /// `degraded_payloads`. The session absorbs these into its
+    /// [`wrangler_obs::Telemetry`] under the `acquire.` prefix.
+    pub events: CounterSet,
 }
 
 impl AcquisitionReport {
@@ -448,6 +454,9 @@ impl Acquisition {
         loop {
             attempts += 1;
             self.total_attempts += 1;
+            if attempts > 1 {
+                report.events.inc("retries");
+            }
             match registry.acquire(id, self.clock, self.policy.attempt_deadline) {
                 Ok(snap) => {
                     self.clock += snap.latency;
@@ -455,6 +464,7 @@ impl Acquisition {
                         None => Disposition::Fresh,
                         Some((d, table)) => {
                             report.degraded_tables.push((id, table));
+                            report.events.inc("degraded_payloads");
                             Disposition::Degraded(d)
                         }
                     };
@@ -503,7 +513,10 @@ impl Acquisition {
                 // Tripped before any attempt → quarantined; tripped mid-retry
                 // → the attempts were real, report the failure itself.
                 let disposition = match last_err.take() {
-                    None => Disposition::Quarantined,
+                    None => {
+                        report.events.inc("quarantine_skips");
+                        Disposition::Quarantined
+                    }
                     Some(e) => Disposition::Skipped(e),
                 };
                 return AcquireOutcome {
@@ -515,6 +528,9 @@ impl Acquisition {
             }
             attempts += 1;
             self.total_attempts += 1;
+            if attempts > 1 {
+                report.events.inc("retries");
+            }
             match registry.acquire(id, self.clock, policy.attempt_deadline) {
                 Ok(snap) => {
                     self.clock += snap.latency;
@@ -523,6 +539,7 @@ impl Acquisition {
                         None => Disposition::Fresh,
                         Some((d, table)) => {
                             report.degraded_tables.push((id, table));
+                            report.events.inc("degraded_payloads");
                             Disposition::Degraded(d)
                         }
                     };
@@ -536,10 +553,14 @@ impl Acquisition {
                 Err(e) => {
                     self.clock += 1;
                     let now = self.clock;
+                    let was_open = matches!(self.breaker(i).state(), BreakerState::Open { .. });
                     self.breaker(i).record_failure(now);
                     // A tripped breaker or a terminal error ends the retries
                     // right away — no point paying the remaining backoff.
                     let tripped = matches!(self.breaker(i).state(), BreakerState::Open { .. });
+                    if tripped && !was_open {
+                        report.events.inc("breaker_trips");
+                    }
                     if tripped || !e.is_retriable() {
                         return AcquireOutcome {
                             id,
@@ -554,10 +575,14 @@ impl Acquisition {
                             .copied()
                             .unwrap_or(policy.max_backoff.max(1));
                         if let AcquireError::RateLimited { retry_after, .. } = &e {
+                            if *retry_after > wait {
+                                report.events.inc("rate_limit_stretches");
+                            }
                             wait = wait.max(*retry_after);
                         }
                         self.clock += wait;
                         self.total_backoff_ticks += wait;
+                        report.events.add("backoff_ticks", wait);
                     }
                     last_err = Some(e);
                 }
@@ -749,6 +774,22 @@ mod tests {
         let report = eng.acquire_selected(&reg, &reg.ids(), 0);
         assert!(report.aborted.is_some());
         assert_eq!(report.attempts, 50);
+    }
+
+    #[test]
+    fn acquisition_events_are_recorded() {
+        let reg = registry(vec![FaultProfile::Healthy, FaultProfile::HardDown]);
+        let mut eng = Acquisition::default();
+        let r1 = eng.acquire_selected(&reg, &reg.ids(), 0);
+        // The hard-down source retried until its breaker tripped once.
+        assert!(r1.events.get("retries") > 0);
+        assert_eq!(r1.events.get("breaker_trips"), 1);
+        assert!(r1.events.get("backoff_ticks") > 0);
+        assert_eq!(r1.events.get("quarantine_skips"), 0);
+        // Immediately after, the open breaker skips it without attempts.
+        let r2 = eng.acquire_selected(&reg, &reg.ids(), eng.clock());
+        assert_eq!(r2.events.get("quarantine_skips"), 1);
+        assert_eq!(r2.events.get("retries"), 0);
     }
 
     #[test]

@@ -69,9 +69,9 @@ pub fn suggest_feedback_targets(
     }
     out.sort_by(|a, b| {
         b.priority
-            .partial_cmp(&a.priority)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.priority)
             .then(a.entity.cmp(&b.entity))
+            .then(a.attr.cmp(&b.attr))
     });
     out.truncate(k);
     out

@@ -34,6 +34,7 @@ pub use acquire::{
 };
 pub use active::suggest_feedback_targets;
 pub use planner::Plan;
-pub use provenance::{acquisition_table, lint_table, provenance_table};
+pub use provenance::{acquisition_table, lint_table, metrics_table, provenance_table};
 pub use uncertain::UncertainView;
 pub use wrangler::{WrangleOutcome, Wrangler};
+pub use wrangler_obs::{MetricsReport, ObsMode, Telemetry};

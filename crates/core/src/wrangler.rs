@@ -13,6 +13,7 @@ use wrangler_fusion::ClaimSet;
 use wrangler_lint::{GateMode, Report as LintReport};
 use wrangler_mapping::{generate_mapping, Mapping};
 use wrangler_match::MatchConfig;
+use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
 use wrangler_quality::profile::{quality_vector, ExternalSignals, TableProfile};
 use wrangler_resolve::learn::{refine_rule, LabeledPair};
 use wrangler_resolve::{
@@ -93,6 +94,10 @@ pub struct WrangleOutcome {
     /// mappings and the plan audit); empty when the gate is off or everything
     /// was clean.
     pub lint: LintReport,
+    /// Telemetry snapshot at delivery time: per-stage spans, counters and
+    /// gauges aggregated over the session so far. Empty under
+    /// [`ObsMode::Off`].
+    pub metrics: MetricsReport,
 }
 
 /// A wrangling session: context + sources + working data + feedback loop.
@@ -112,6 +117,11 @@ pub struct Wrangler {
     /// The resilient acquisition engine: retry/backoff policy, per-source
     /// circuit breakers, and the failure-handling mode.
     pub acquisition: Acquisition,
+    /// The session's telemetry collector: hierarchical stage spans over the
+    /// monotonic clock plus deterministic counters/gauges (see
+    /// [`wrangler_obs`]). On by default; E13 puts the overhead under 5% of
+    /// wall on the standard workload.
+    pub obs: Telemetry,
     target: Schema,
     target_sample: Table,
     registry: SourceRegistry,
@@ -150,6 +160,7 @@ impl Wrangler {
             working: WorkingData::new(),
             routing: RoutingMode::Shared,
             acquisition: Acquisition::default(),
+            obs: Telemetry::default(),
             target,
             target_sample,
             registry: SourceRegistry::new(),
@@ -184,6 +195,20 @@ impl Wrangler {
     pub fn with_lint_gate(mut self, mode: GateMode) -> Wrangler {
         self.lint_gate = mode;
         self
+    }
+
+    /// Set the telemetry mode (default: [`ObsMode::On`]). `Off` turns every
+    /// record operation into a cheap branch — the E13 overhead baseline.
+    pub fn with_obs_mode(mut self, mode: ObsMode) -> Wrangler {
+        self.obs.set_mode(mode);
+        self
+    }
+
+    /// Snapshot the session's metrics: stage timings (wall-clock,
+    /// non-deterministic) segregated from counters and gauges
+    /// (deterministic functions of the seeded data flow).
+    pub fn metrics(&self) -> MetricsReport {
+        self.obs.report()
     }
 
     /// The current pre-flight gate mode.
@@ -354,8 +379,15 @@ impl Wrangler {
     /// Full wrangle: select → map → resolve → fuse → gate → report.
     pub fn wrangle(&mut self) -> wrangler_table::Result<WrangleOutcome> {
         let plan = self.plan();
+        // A pass that aborted with `?` leaves spans open; start clean. An
+        // early error return below simply leaves this pass's spans
+        // unrecorded — counters recorded up to the failure point persist.
+        self.obs.start_pass();
+        self.obs.begin("wrangle");
+        self.obs.inc("pass.wrangle");
 
         // 1. Source selection under the user context.
+        self.obs.begin("select");
         let estimates = self.estimates();
         let selected: Vec<SourceId> = match plan.selection {
             SelectionStrategy::MarginalGain => select_marginal_gain(&estimates, &self.user).0,
@@ -367,11 +399,15 @@ impl Wrangler {
                 select_greedy_utility(&estimates, &all)
             }
         };
+        self.obs.count("select.candidates", estimates.len() as u64);
+        self.obs.count("select.selected", selected.len() as u64);
+        self.obs.end();
         // 2. Acquisition: fallibly fetch every selected source through the
         // registry's (optional) fault layer under the session's resilience
         // policy. The pipeline then continues on the surviving subset:
         // skipped sources are recorded in the outcome and their trust
         // discounted, degraded payloads are integrated as delivered.
+        self.obs.begin("acquire");
         let mut report = self
             .acquisition
             .acquire_selected(&self.registry, &selected, self.now);
@@ -379,6 +415,11 @@ impl Wrangler {
         let degraded = report.degraded();
         let survivors = report.survivors();
         let degraded_payloads = std::mem::take(&mut report.degraded_tables);
+        self.obs.absorb("acquire", &report.events);
+        self.obs.count("acquire.attempts", report.attempts);
+        self.obs.count("acquire.virtual_ticks", report.ticks);
+        self.obs.count("acquire.skipped", skipped.len() as u64);
+        self.obs.count("acquire.degraded", degraded.len() as u64);
         self.last_acquisition = AcquisitionSummary {
             outcomes: report.outcomes,
             skipped: skipped.clone(),
@@ -386,6 +427,7 @@ impl Wrangler {
             attempts: report.attempts,
             ticks: report.ticks,
         };
+        self.obs.end();
         if let Some(err) = report.aborted {
             return Err(TableError::Unavailable(format!(
                 "acquisition aborted after {} attempts: {err}",
@@ -431,6 +473,7 @@ impl Wrangler {
 
         // 3. Mapping generation + execution per acquired source. Generation
         // (schema matching) is the CPU-heavy step; fan it out across threads.
+        self.obs.begin("map_generate");
         let need_mapping: Vec<usize> = selected
             .iter()
             .map(|id| id.0 as usize)
@@ -464,44 +507,65 @@ impl Wrangler {
                     Ok((i, table))
                 })
                 .collect::<wrangler_table::Result<_>>()?;
-            let generated: Vec<(usize, Mapping)> = std::thread::scope(|scope| {
-                let workers = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-                    .min(inputs.len());
-                let chunk = inputs.len().div_ceil(workers);
-                let handles: Vec<_> = inputs
-                    .chunks(chunk)
-                    .map(|pairs| {
-                        scope.spawn(move || {
-                            pairs
-                                .iter()
-                                .map(|&(i, table)| {
-                                    (
-                                        i,
-                                        generate_mapping(
-                                            table,
-                                            target,
-                                            sample,
-                                            Some(ontology),
-                                            match_cfg,
-                                        ),
-                                    )
-                                })
-                                .collect::<Vec<_>>()
+            let timed = self.obs.is_on();
+            type WorkerStats = Vec<(u64, u128)>;
+            let (generated, worker_stats): (Vec<(usize, Mapping)>, WorkerStats) =
+                std::thread::scope(|scope| {
+                    let workers = std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                        .min(inputs.len());
+                    let inputs = &inputs;
+                    // Strided pickup: worker w takes items w, w+workers,
+                    // w+2·workers, … Chunking by ⌈len/workers⌉ can leave
+                    // whole workers idle (5 inputs / 4 workers → chunks of 2
+                    // → only 3 threads busy); strides spread any input count
+                    // over every spawned worker, and keep each worker's item
+                    // set deterministic for the per-worker metrics.
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let started = timed.then(std::time::Instant::now);
+                                let out: Vec<(usize, Mapping)> = inputs
+                                    .iter()
+                                    .skip(w)
+                                    .step_by(workers)
+                                    .map(|&(i, table)| {
+                                        (
+                                            i,
+                                            generate_mapping(
+                                                table,
+                                                target,
+                                                sample,
+                                                Some(ontology),
+                                                match_cfg,
+                                            ),
+                                        )
+                                    })
+                                    .collect();
+                                let busy = started.map_or(0, |t| t.elapsed().as_nanos());
+                                (out, busy)
+                            })
                         })
-                    })
-                    .collect();
-                let mut out = Vec::new();
-                for h in handles {
-                    // A panicking worker becomes a structured error for the
-                    // whole wrangle, not a cascading panic.
-                    out.extend(h.join().map_err(|_| {
-                        TableError::Unavailable("schema-matching worker panicked".into())
-                    })?);
-                }
-                Ok::<_, TableError>(out)
-            })?;
+                        .collect();
+                    let mut out = Vec::new();
+                    let mut stats = WorkerStats::new();
+                    for h in handles {
+                        // A panicking worker becomes a structured error for
+                        // the whole wrangle, not a cascading panic.
+                        let (chunk, busy) = h.join().map_err(|_| {
+                            TableError::Unavailable("schema-matching worker panicked".into())
+                        })?;
+                        stats.push((chunk.len() as u64, busy));
+                        out.extend(chunk);
+                    }
+                    Ok::<_, TableError>((out, stats))
+                })?;
+            for (w, (items, busy)) in worker_stats.iter().enumerate() {
+                self.obs.count(&format!("map.worker{w}.items"), *items);
+                self.obs.record_nanos(&format!("worker{w}"), *busy, 1);
+            }
+            self.obs.count("map.generated", generated.len() as u64);
             for (i, mapping) in generated {
                 self.states[i].mapping = Some(mapping);
                 self.states[i].mapped = None;
@@ -509,11 +573,13 @@ impl Wrangler {
                 self.working.mark_clean(Artifact::Mapping(i));
             }
         }
+        self.obs.end();
 
         // 3b. Pre-flight static analysis: lint every (mapping, source schema)
         // pair plus the plan's determinism description *before* any mapping
         // executes. Under `Deny`, error-grade findings abort here with a
         // structured error instead of surfacing mid-run (or never).
+        self.obs.begin("preflight");
         self.last_lint.clear();
         if self.lint_gate != GateMode::Off {
             let audit = wrangler_lint::audit_steps(&plan.describe());
@@ -542,7 +608,10 @@ impl Wrangler {
                 }
             }
             let merged = self.lint_report();
+            self.obs
+                .count("lint.findings", merged.diagnostics().len() as u64);
             if merged.blocks(self.lint_gate) {
+                self.obs.inc("lint.gate_denials");
                 let first = merged
                     .errors()
                     .next()
@@ -554,6 +623,8 @@ impl Wrangler {
                 )));
             }
         }
+        self.obs.end();
+        self.obs.begin("map_apply");
         {
             let registry = &self.registry;
             let states = &mut self.states;
@@ -584,8 +655,11 @@ impl Wrangler {
                 }
             }
         }
+        self.obs.count("map.applied", selected.len() as u64);
+        self.obs.end();
 
         // 4. Union with provenance.
+        self.obs.begin("union");
         let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
         for id in &selected {
             let i = id.0 as usize;
@@ -597,6 +671,7 @@ impl Wrangler {
                 union.push((i, row));
             }
         }
+        self.obs.count("union.rows", union.len() as u64);
 
         // 5. Entity resolution over the union.
         let union_table = {
@@ -606,6 +681,8 @@ impl Wrangler {
             }
             t
         };
+        self.obs.end();
+        self.obs.begin("er");
         // Block on the name-ish column AND the key column: rows whose name is
         // null or typo-prefixed still meet their duplicates through the key.
         let block_col = blocking_column(&self.target);
@@ -629,8 +706,13 @@ impl Wrangler {
             }
         }
         self.working.mark_clean(Artifact::Clusters);
+        self.obs.count("er.candidates", candidates.len() as u64);
+        self.obs.count("er.match_pairs", pairs.len() as u64);
+        self.obs.count("er.entities", clusters.len() as u64);
+        self.obs.end();
 
         // 6. Claims + trust.
+        self.obs.begin("fuse");
         let mut claims = ClaimSet::new(self.registry.len());
         claims.rel_tol = plan.fusion_tolerance;
         for (r, (src, row)) in union.iter().enumerate() {
@@ -651,17 +733,23 @@ impl Wrangler {
             .map(|s| self.now.saturating_sub(s.meta.last_updated))
             .collect();
         let source_ctx = SourceContext { trust, age };
+        self.obs.count("fuse.claims", claims.claims.len() as u64);
+        self.obs.count("fuse.anchors", anchors.len() as u64);
 
         // 7. Fuse every slot (honouring value-level feedback constraints).
         // hash-ok: populated per sorted slot, consumed via get()
         let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
+        let mut slots_fused = 0u64;
         for (e, a) in claims.slots() {
             if let Some(f) = self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx) {
                 fused.insert((e, a), f);
             }
+            slots_fused += 1;
             self.working.work.slots_fused += 1;
             self.working.mark_clean(Artifact::FusedSlot(e, a));
         }
+        self.obs.count("fuse.slots", slots_fused);
+        self.obs.end();
 
         self.cache = Some(WrangleCache {
             union,
@@ -673,7 +761,10 @@ impl Wrangler {
             selected: selected.clone(),
         });
         self.working.mark_clean(Artifact::Result);
-        self.assemble(&plan)
+        let mut outcome = self.assemble(&plan)?;
+        self.obs.end(); // close the "wrangle" root span
+        outcome.metrics = self.obs.report();
+        Ok(outcome)
     }
 
     /// Incrementally re-wrangle after feedback: re-fuse only dirty slots with
@@ -693,6 +784,9 @@ impl Wrangler {
             return self.wrangle();
         }
         let plan = self.plan();
+        self.obs.start_pass();
+        self.obs.begin("rewrangle");
+        self.obs.inc("pass.rewrangle");
         // Refresh the trust vector from beliefs (feedback may have moved it).
         let mut cache = self.cache.take().expect("checked above"); // lint-allow: presence checked by the guard above
         for i in 0..self.registry.len() {
@@ -700,6 +794,8 @@ impl Wrangler {
                 0.5 * cache.source_ctx.trust[i].min(1.0) + 0.5 * self.states[i].trust.probability();
             cache.source_ctx.trust[i] = blended;
         }
+        self.obs.begin("refuse");
+        let mut refused = 0u64;
         for (e, a) in self.working.dirty_slots() {
             match self.fuse_slot(&cache.claims, e, a, plan.fusion, &cache.source_ctx) {
                 Some(f) => {
@@ -710,12 +806,18 @@ impl Wrangler {
                     cache.fused.remove(&(e, a));
                 }
             }
+            refused += 1;
             self.working.work.slots_fused += 1;
             self.working.mark_clean(Artifact::FusedSlot(e, a));
         }
+        self.obs.count("refuse.slots", refused);
+        self.obs.end();
         self.cache = Some(cache);
         self.working.mark_clean(Artifact::Result);
-        self.assemble(&plan)
+        let mut outcome = self.assemble(&plan)?;
+        self.obs.end(); // close the "rewrangle" root span
+        outcome.metrics = self.obs.report();
+        Ok(outcome)
     }
 
     /// Fuse one slot, honouring confirmed and vetoed values from direct
@@ -799,6 +901,7 @@ impl Wrangler {
 
     /// Assemble the wrangled table and its quality report from the cache.
     fn assemble(&mut self, plan: &Plan) -> wrangler_table::Result<WrangleOutcome> {
+        self.obs.begin("assemble");
         let cache = self.cache.as_ref().expect("assemble requires a cache"); // lint-allow: wrangle() populates the cache before assemble()
         let mut fields = self.target.fields().to_vec();
         fields.push(wrangler_table::Field::new("_confidence", DataType::Float));
@@ -807,6 +910,8 @@ impl Wrangler {
         let mut conflict_free = 0usize;
         let mut slot_count = 0usize;
         let mut conf_sum = 0.0;
+        let mut delivered = 0u64;
+        let mut withheld = 0u64;
         for e in 0..cache.entities {
             let mut row = Vec::with_capacity(self.target.len() + 1);
             let mut row_conf = Vec::new();
@@ -823,8 +928,10 @@ impl Wrangler {
                         if conf >= plan.min_value_confidence {
                             row.push(f.value.clone());
                             row_conf.push(conf);
+                            delivered += 1;
                         } else {
                             row.push(Value::Null);
+                            withheld += 1;
                         }
                     }
                     None => row.push(Value::Null),
@@ -893,6 +1000,14 @@ impl Wrangler {
             quality = quality.with(Criterion::Completeness, 0.5 * entity_cov + 0.5 * field_com);
         }
         let utility = self.user.utility(&quality);
+        self.obs.count("out.rows", table.num_rows() as u64);
+        self.obs.count("out.entities", cache.entities as u64);
+        self.obs.count("out.values_delivered", delivered);
+        self.obs.count("out.values_withheld", withheld);
+        self.obs.gauge("out.accuracy", accuracy);
+        self.obs.gauge("out.consistency", consistency);
+        self.obs.gauge("out.utility", utility);
+        self.obs.end();
         Ok(WrangleOutcome {
             table,
             quality,
@@ -905,6 +1020,7 @@ impl Wrangler {
             acquisition_attempts: self.last_acquisition.attempts,
             acquisition_ticks: self.last_acquisition.ticks,
             lint: self.lint_report(),
+            metrics: MetricsReport::default(),
         })
     }
 
@@ -978,6 +1094,8 @@ impl Wrangler {
         for s in signals {
             self.apply_signal(s);
         }
+        self.obs.inc("feedback.items");
+        self.obs.count("feedback.signals", n as u64);
         n
     }
 
@@ -1755,5 +1873,82 @@ mod tests {
         let out = w.wrangle().unwrap();
         assert!(out.lint.is_empty());
         assert!(w.lint_findings().is_empty());
+    }
+
+    #[test]
+    fn metrics_cover_every_stage_and_every_worker() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let out = w.wrangle().unwrap();
+        let m = &out.metrics;
+        // Every pipeline stage shows up as a direct child span of the root.
+        for stage in [
+            "select",
+            "acquire",
+            "map_generate",
+            "preflight",
+            "map_apply",
+            "union",
+            "er",
+            "fuse",
+            "assemble",
+        ] {
+            let path = format!("wrangle/{stage}");
+            assert!(m.timings.contains_key(&path), "missing span {path}");
+        }
+        // Per-worker item counts from the strided fan-out sum to the total,
+        // and with >= 2 inputs no recorded worker sat idle.
+        let worker_items: Vec<u64> = m
+            .counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("map.worker") && k.ends_with(".items"))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(!worker_items.is_empty());
+        assert_eq!(
+            worker_items.iter().sum::<u64>(),
+            m.counts["map.generated"],
+            "per-worker items must sum to map.generated"
+        );
+        assert!(
+            worker_items.iter().all(|&n| n > 0),
+            "no worker may be idle: {worker_items:?}"
+        );
+        // Output counters agree with the outcome.
+        assert_eq!(m.counts["out.entities"], out.entities as u64);
+        assert_eq!(m.counts["out.rows"], out.table.num_rows() as u64);
+        assert_eq!(m.counts["pass.wrangle"], 1);
+        // Stage spans attribute (nearly) all of the root's wall clock.
+        let cov = m.stage_coverage("wrangle");
+        assert!(cov > 0.9, "stage coverage {cov}");
+        // An incremental rewrangle records its own pass + refuse stage.
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::Tuple { entity: 0 },
+            Verdict::Negative,
+            1.0,
+        ));
+        let out2 = w.rewrangle().unwrap();
+        let m2 = &out2.metrics;
+        assert_eq!(m2.counts["pass.rewrangle"], 1);
+        assert_eq!(m2.counts["feedback.items"], 1);
+        assert!(m2.counts["refuse.slots"] > 0);
+        assert!(m2.timings.contains_key("rewrangle/refuse"));
+        assert!(m2.timings.contains_key("rewrangle/assemble"));
+    }
+
+    #[test]
+    fn obs_off_records_nothing_and_changes_no_output() {
+        let fleet = small_fleet();
+        let mut on = session(&fleet, UserContext::balanced("t"));
+        let mut off =
+            session(&fleet, UserContext::balanced("t")).with_obs_mode(wrangler_obs::ObsMode::Off);
+        let a = on.wrangle().unwrap();
+        let b = off.wrangle().unwrap();
+        assert!(b.metrics.counts.is_empty());
+        assert!(b.metrics.timings.is_empty());
+        // Telemetry is observation only: the wrangled data is unchanged.
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.table.num_rows(), b.table.num_rows());
+        assert!((a.utility - b.utility).abs() < 1e-12);
     }
 }

@@ -221,20 +221,10 @@ mod tests {
         let est = aggregate_em(&votes, ts.len(), 10, 0.05, 20).worker_accuracy;
         // Correlation check: the best true worker should beat the worst.
         let best = (0..10)
-            .max_by(|&a, &b| {
-                crowd
-                    .true_accuracy(a)
-                    .partial_cmp(&crowd.true_accuracy(b))
-                    .unwrap()
-            })
+            .max_by(|&a, &b| crowd.true_accuracy(a).total_cmp(&crowd.true_accuracy(b)))
             .unwrap();
         let worst = (0..10)
-            .min_by(|&a, &b| {
-                crowd
-                    .true_accuracy(a)
-                    .partial_cmp(&crowd.true_accuracy(b))
-                    .unwrap()
-            })
+            .min_by(|&a, &b| crowd.true_accuracy(a).total_cmp(&crowd.true_accuracy(b)))
             .unwrap();
         assert!(est[best] > est[worst], "est {est:?}");
     }

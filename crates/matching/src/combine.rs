@@ -171,8 +171,7 @@ pub fn match_schemas(
     }
     out.sort_by(|a, b| {
         b.probability()
-            .partial_cmp(&a.probability())
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.probability())
             .then(a.left.cmp(&b.left))
             .then(a.right.cmp(&b.right))
     });

@@ -10,16 +10,17 @@
 use crate::combine::Correspondence;
 
 /// Select a one-to-one subset of `correspondences`, greedily by probability.
-/// Input order is used to break ties (callers get deterministic output
-/// because [`crate::combine::match_schemas`] sorts).
+/// `total_cmp` gives NaN scores a fixed place in the order and ties break on
+/// the `(left, right)` index pair, so the output is a pure function of the
+/// input set — independent of input order.
 pub fn select_one_to_one(correspondences: &[Correspondence]) -> Vec<Correspondence> {
     let mut used_left = std::collections::HashSet::new();
     let mut used_right = std::collections::HashSet::new();
     let mut sorted: Vec<&Correspondence> = correspondences.iter().collect();
     sorted.sort_by(|a, b| {
         b.probability()
-            .partial_cmp(&a.probability())
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.probability())
+            .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
     });
     let mut out = Vec::new();
     for c in sorted {

@@ -112,4 +112,45 @@ proptest! {
         }
         prop_assert_eq!(corrs.len(), names.len());
     }
+
+    /// One-to-one selection is a pure function of the correspondence *set*,
+    /// even when some scores are NaN: shuffling the input must not change the
+    /// selected pairs. (The PR-3 bug: `partial_cmp(..).unwrap_or(Equal)`
+    /// makes NaN compare Equal to everything, so the sort — and therefore
+    /// the greedy selection — depended on input order.)
+    #[test]
+    fn selection_is_shuffle_invariant_under_nan_scores(
+        raw_edges in prop::collection::vec((0usize..6, 0usize..6), 1..20),
+        nan_mask in prop::collection::vec(any::<bool>(), 20),
+        rot in 0usize..20,
+        rev in any::<bool>(),
+    ) {
+        use wrangler_match::Correspondence;
+        use wrangler_uncertainty::Belief;
+        // Dedup to an edge *set* so each (left, right) pair carries one score.
+        let edges: std::collections::BTreeSet<(usize, usize)> = raw_edges.into_iter().collect();
+        let corrs: Vec<Correspondence> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(left, right))| {
+                let p = if nan_mask[i % nan_mask.len()] {
+                    f64::NAN
+                } else {
+                    // Deterministic score with deliberate ties across edges.
+                    f64::from(u32::try_from((left + right) % 4).unwrap_or(0)) / 4.0
+                };
+                Correspondence { left, right, belief: Belief::from_prior(p) }
+            })
+            .collect();
+        let mut shuffled = corrs.clone();
+        let n = shuffled.len();
+        shuffled.rotate_left(rot % n);
+        if rev {
+            shuffled.reverse();
+        }
+        let pairs = |cs: &[Correspondence]| -> Vec<(usize, usize)> {
+            select_one_to_one(cs).iter().map(|c| (c.left, c.right)).collect()
+        };
+        prop_assert_eq!(pairs(&corrs), pairs(&shuffled));
+    }
 }

@@ -1,0 +1,531 @@
+//! `wrangler-obs` — structured pipeline telemetry.
+//!
+//! The paper's pay-as-you-go thesis (§2.4) presupposes that the system can
+//! say *where* effort and wall-clock go: "limit the processing to the
+//! strictly necessary data" (Example 5, §4.3) is only actionable with
+//! per-stage visibility. This crate is that measurement substrate:
+//!
+//! * [`Telemetry`] — a lightweight collector of **hierarchical spans**
+//!   (stage → sub-stage, timed with the monotonic clock), **typed counters**
+//!   (rows in/out, mappings generated, retries, breaker trips, …) and
+//!   **gauges** (data-derived ratios);
+//! * [`MetricsReport`] — the canonical frozen snapshot. Count and gauge
+//!   fields are *segregated* from timing fields: counts are pure functions
+//!   of the (seeded) data flow, so their rendering is byte-identical across
+//!   runs, while timings are honest wall-clock and vary. Determinism checks
+//!   diff [`MetricsReport::render_counts`]; humans read
+//!   [`MetricsReport::render`]; machines read [`MetricsReport::to_json`];
+//! * [`CounterSet`] — a detached bag of counters for components that cannot
+//!   hold the session collector (e.g. the acquisition engine records retry
+//!   and breaker events into one, and the session absorbs it per pass);
+//! * [`ObsMode`] — `Off` turns every record operation into a cheap branch,
+//!   the baseline against which experiment E13 measures instrumentation
+//!   overhead (<5% wall on the standard workload).
+//!
+//! Span paths are `/`-joined (`wrangle/map/generate`); the nesting is
+//! whatever the instrumented code's `begin`/`end` pairs make it. A pass that
+//! aborts mid-span leaves the open spans unrecorded; [`Telemetry::start_pass`]
+//! resets the stack so the next pass starts clean.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Whether the session records telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Record spans, counters and gauges (the default: E13 shows the
+    /// overhead is well under 5% of wall).
+    #[default]
+    On,
+    /// Every record operation is a no-op branch; the E13 baseline.
+    Off,
+}
+
+/// Aggregated wall-clock of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timing {
+    /// Total nanoseconds across all calls.
+    pub nanos: u128,
+    /// Number of `begin`/`end` pairs recorded at this path.
+    pub calls: u64,
+}
+
+/// A detached, ordered bag of counters. Components that cannot borrow the
+/// session's [`Telemetry`] (the acquisition engine runs behind `&mut self`
+/// of another struct) record events here; the session absorbs the bag under
+/// a prefix once the pass completes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Add `n` to `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n > 0 {
+            *self.counts.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Increment `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never recorded).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Drop all counters.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// The canonical metrics snapshot of a session (or a single pass).
+///
+/// Counts and gauges are pure functions of the seeded data flow and render
+/// byte-identically across runs ([`Self::render_counts`]); timings are
+/// wall-clock and segregated so they can never leak into a determinism diff.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Monotone event counters, by name.
+    pub counts: BTreeMap<String, u64>,
+    /// Last-write-wins data-derived ratios, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Aggregated span timings, by `/`-joined path.
+    pub timings: BTreeMap<String, Timing>,
+}
+
+impl MetricsReport {
+    /// The deterministic half: counters and gauges only, one per line, in
+    /// lexicographic order. Two seeded runs must produce byte-identical
+    /// output here (checked in CI via `e13_observability --counts`).
+    pub fn render_counts(&self) -> String {
+        let mut out = String::from("counts:\n");
+        for (k, v) in &self.counts {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+        out.push_str("gauges:\n");
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "  {k} = {v:.6}");
+        }
+        out
+    }
+
+    /// The human-facing full report: counts, gauges, then the span tree with
+    /// wall-clock (indented by path depth, children under parents).
+    pub fn render(&self) -> String {
+        let mut out = self.render_counts();
+        out.push_str("timings:\n");
+        for (path, t) in &self.timings {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{name}: {:.3} ms ({} calls)",
+                "",
+                t.nanos as f64 / 1e6,
+                t.calls,
+                indent = depth * 2
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON (`{"counts":{…},"gauges":{…},"timings":{…}}`),
+    /// keys sorted. No external serializer: names are internal identifiers
+    /// and get minimal string escaping.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\"counts\":{");
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", esc(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v:.6}", esc(k));
+        }
+        out.push_str("},\"timings\":{");
+        for (i, (k, t)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"nanos\":{},\"calls\":{}}}",
+                esc(k),
+                t.nanos,
+                t.calls
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// True when the deterministic halves (counts + gauges) agree exactly.
+    pub fn counts_identical(&self, other: &MetricsReport) -> bool {
+        self.counts == other.counts && self.render_gauges_eq(other)
+    }
+
+    fn render_gauges_eq(&self, other: &MetricsReport) -> bool {
+        // Compare at render precision: the determinism contract is on the
+        // rendered bytes, not on bit-level f64 identity.
+        self.gauges.len() == other.gauges.len()
+            && self
+                .gauges
+                .iter()
+                .zip(&other.gauges)
+                .all(|((ka, va), (kb, vb))| ka == kb && format!("{va:.6}") == format!("{vb:.6}"))
+    }
+
+    /// Wall-clock share of each *direct* child span of `root`, as
+    /// `(child path, fraction of root nanos)`, largest first (ties broken by
+    /// path). The per-stage attribution table of E13 is this for
+    /// `root = "wrangle"`.
+    pub fn stage_shares(&self, root: &str) -> Vec<(String, f64)> {
+        let total = match self.timings.get(root) {
+            Some(t) if t.nanos > 0 => t.nanos as f64,
+            _ => return Vec::new(),
+        };
+        let prefix = format!("{root}/");
+        let mut shares: Vec<(String, f64)> = self
+            .timings
+            .iter()
+            .filter(|(p, _)| {
+                p.starts_with(&prefix) && !p[prefix.len()..].contains('/')
+            })
+            .map(|(p, t)| (p.clone(), t.nanos as f64 / total))
+            .collect();
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        shares
+    }
+
+    /// Sum of [`Self::stage_shares`] fractions — the coverage of the
+    /// attribution (E13 requires ≥ 0.95: the stage map accounts for the
+    /// measured wall, it is not a sampling artifact).
+    pub fn stage_coverage(&self, root: &str) -> f64 {
+        self.stage_shares(root).iter().map(|(_, f)| f).sum()
+    }
+}
+
+/// The session-side collector: a span stack over the monotonic clock plus
+/// counter/gauge maps. All record operations are no-ops under
+/// [`ObsMode::Off`].
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    mode: ObsMode,
+    counts: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timings: BTreeMap<String, Timing>,
+    stack: Vec<(String, Instant)>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(ObsMode::default())
+    }
+}
+
+impl Telemetry {
+    /// A collector in the given mode.
+    pub fn new(mode: ObsMode) -> Telemetry {
+        Telemetry {
+            mode,
+            counts: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            timings: BTreeMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The collector's mode.
+    pub fn mode(&self) -> ObsMode {
+        self.mode
+    }
+
+    /// Switch mode (takes effect for subsequent record operations).
+    pub fn set_mode(&mut self, mode: ObsMode) {
+        self.mode = mode;
+    }
+
+    /// True when recording.
+    pub fn is_on(&self) -> bool {
+        self.mode == ObsMode::On
+    }
+
+    /// Open a span named `name` under the currently open span (or at the
+    /// root). Must be balanced by [`Self::end`].
+    pub fn begin(&mut self, name: &str) {
+        if !self.is_on() {
+            return;
+        }
+        let path = match self.stack.last() {
+            Some((parent, _)) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        self.stack.push((path, Instant::now()));
+    }
+
+    /// Close the innermost open span, folding its elapsed wall-clock into
+    /// the aggregate for its path. A stray `end` with no open span is a
+    /// no-op (an aborted pass may have cleared the stack).
+    pub fn end(&mut self) {
+        if !self.is_on() {
+            return;
+        }
+        if let Some((path, started)) = self.stack.pop() {
+            let t = self.timings.entry(path).or_default();
+            t.nanos += started.elapsed().as_nanos();
+            t.calls += 1;
+        }
+    }
+
+    /// Time a closure as a child span.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.begin(name);
+        let r = f();
+        self.end();
+        r
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        if self.is_on() && n > 0 {
+            *self.counts.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.count(name, 1);
+    }
+
+    /// Set gauge `name` (last write wins). Non-finite values are recorded as
+    /// 0 so the deterministic rendering never prints `NaN`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        if self.is_on() {
+            self.gauges
+                .insert(name.to_string(), if v.is_finite() { v } else { 0.0 });
+        }
+    }
+
+    /// Fold a detached [`CounterSet`] in under `prefix` (joined with `.`).
+    pub fn absorb(&mut self, prefix: &str, set: &CounterSet) {
+        if !self.is_on() {
+            return;
+        }
+        for (name, v) in set.iter() {
+            *self
+                .counts
+                .entry(format!("{prefix}.{name}"))
+                .or_insert(0) += v;
+        }
+    }
+
+    /// Record externally measured wall-clock (e.g. a worker thread's busy
+    /// time) at `path` under the currently open span.
+    pub fn record_nanos(&mut self, name: &str, nanos: u128, calls: u64) {
+        if !self.is_on() {
+            return;
+        }
+        let path = match self.stack.last() {
+            Some((parent, _)) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        let t = self.timings.entry(path).or_default();
+        t.nanos += nanos;
+        t.calls += calls;
+    }
+
+    /// Begin a fresh pass: clear any spans left open by an aborted pass so
+    /// nesting cannot corrupt across passes. Counters/gauges/timings persist
+    /// (they aggregate over the session).
+    pub fn start_pass(&mut self) {
+        self.stack.clear();
+    }
+
+    /// Snapshot the current metrics.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counts: self.counts.clone(),
+            gauges: self.gauges.clone(),
+            timings: self.timings.clone(),
+        }
+    }
+
+    /// Drop all recorded data (mode is kept).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.gauges.clear();
+        self.timings.clear();
+        self.stack.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_stack() {
+        let mut t = Telemetry::default();
+        t.begin("wrangle");
+        t.begin("select");
+        t.end();
+        t.begin("map");
+        t.begin("generate");
+        t.end();
+        t.end();
+        t.end();
+        let r = t.report();
+        let paths: Vec<&String> = r.timings.keys().collect();
+        assert_eq!(
+            paths,
+            vec!["wrangle", "wrangle/map", "wrangle/map/generate", "wrangle/select"]
+        );
+        assert_eq!(r.timings["wrangle"].calls, 1);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut t = Telemetry::new(ObsMode::Off);
+        t.begin("wrangle");
+        t.inc("rows");
+        t.gauge("ratio", 0.5);
+        t.record_nanos("busy", 100, 1);
+        t.end();
+        let r = t.report();
+        assert!(r.counts.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.timings.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_render_deterministically() {
+        let mut a = Telemetry::default();
+        let mut b = Telemetry::default();
+        for t in [&mut a, &mut b] {
+            t.count("z.rows", 7);
+            t.count("a.rows", 3);
+            t.count("a.rows", 2);
+            t.gauge("share", 1.0 / 3.0);
+        }
+        assert_eq!(a.report().render_counts(), b.report().render_counts());
+        assert!(a.report().counts_identical(&b.report()));
+        assert!(a.report().render_counts().starts_with("counts:\n  a.rows = 5\n"));
+    }
+
+    #[test]
+    fn nan_gauge_is_sanitized() {
+        let mut t = Telemetry::default();
+        t.gauge("bad", f64::NAN);
+        assert_eq!(t.report().gauges["bad"], 0.0);
+    }
+
+    #[test]
+    fn absorb_prefixes_counter_sets() {
+        let mut set = CounterSet::new();
+        set.inc("retries");
+        set.add("breaker_trips", 2);
+        set.add("zeros", 0);
+        assert_eq!(set.get("zeros"), 0);
+        let mut t = Telemetry::default();
+        t.absorb("acquire", &set);
+        let r = t.report();
+        assert_eq!(r.counts["acquire.retries"], 1);
+        assert_eq!(r.counts["acquire.breaker_trips"], 2);
+        assert!(!r.counts.contains_key("acquire.zeros"));
+    }
+
+    #[test]
+    fn stage_shares_cover_direct_children_only() {
+        let mut r = MetricsReport::default();
+        r.timings.insert("wrangle".into(), Timing { nanos: 100, calls: 1 });
+        r.timings
+            .insert("wrangle/er".into(), Timing { nanos: 60, calls: 1 });
+        r.timings
+            .insert("wrangle/map".into(), Timing { nanos: 30, calls: 1 });
+        r.timings.insert(
+            "wrangle/map/generate".into(),
+            Timing { nanos: 25, calls: 1 },
+        );
+        let shares = r.stage_shares("wrangle");
+        assert_eq!(shares.len(), 2);
+        assert_eq!(shares[0].0, "wrangle/er");
+        assert!((shares[0].1 - 0.6).abs() < 1e-12);
+        assert!((r.stage_coverage("wrangle") - 0.9).abs() < 1e-12);
+        assert!(r.stage_shares("nosuch").is_empty());
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let mut t = Telemetry::default();
+        t.count("b", 2);
+        t.count("a\"x", 1);
+        t.gauge("g", 0.25);
+        t.begin("s");
+        t.end();
+        let j = t.report().to_json();
+        assert!(j.starts_with("{\"counts\":{\"a\\\"x\":1,\"b\":2}"));
+        assert!(j.contains("\"gauges\":{\"g\":0.250000}"));
+        assert!(j.contains("\"timings\":{\"s\":{\"nanos\":"));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn aborted_pass_spans_do_not_leak_into_next_pass() {
+        let mut t = Telemetry::default();
+        t.begin("wrangle");
+        t.begin("acquire");
+        // ...pass aborts with `?`; both spans stay open.
+        t.start_pass();
+        t.begin("wrangle");
+        t.end();
+        let r = t.report();
+        assert_eq!(r.timings.len(), 1, "{:?}", r.timings.keys());
+        assert!(r.timings.contains_key("wrangle"));
+        // A stray end after the stack drained is harmless.
+        t.end();
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = Telemetry::default();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(t.report().timings["work"].calls, 1);
+    }
+}

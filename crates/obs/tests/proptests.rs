@@ -1,0 +1,119 @@
+//! Property tests for the telemetry layer: the deterministic half of a
+//! [`MetricsReport`] (counts + gauges) is a pure function of the recorded
+//! operation sequence — byte-identical across runs, independent of wall
+//! clock, spans, and recording order interleave — and `Off` mode records
+//! nothing.
+
+use proptest::prelude::*;
+use wrangler_obs::{CounterSet, MetricsReport, ObsMode, Telemetry};
+
+/// One abstract record operation, drivable against any collector.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(u8, u64),
+    Gauge(u8, i32),
+    Begin(u8),
+    End,
+    Absorb(u8, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 0u64..1000).prop_map(|(k, n)| Op::Count(k, n)),
+        (0u8..6, -500i32..500).prop_map(|(k, v)| Op::Gauge(k, v)),
+        (0u8..5).prop_map(Op::Begin),
+        Just(Op::End),
+        (0u8..4, 1u64..50).prop_map(|(k, n)| Op::Absorb(k, n)),
+    ]
+}
+
+fn drive(t: &mut Telemetry, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Count(k, n) => t.count(&format!("c{k}"), n),
+            Op::Gauge(k, v) => t.gauge(&format!("g{k}"), f64::from(v) / 7.0),
+            Op::Begin(k) => t.begin(&format!("s{k}")),
+            Op::End => t.end(),
+            Op::Absorb(k, n) => {
+                let mut set = CounterSet::new();
+                set.add(&format!("e{k}"), n);
+                t.absorb("sub", &set);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Two collectors fed the same op sequence render byte-identical counts
+    /// and gauges, and identical JSON count/gauge sections — regardless of
+    /// how much wall-clock the interleaved spans actually consumed.
+    #[test]
+    fn counts_are_byte_identical_across_runs(
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let mut a = Telemetry::new(ObsMode::On);
+        let mut b = Telemetry::new(ObsMode::On);
+        drive(&mut a, &ops);
+        drive(&mut b, &ops);
+        let (ra, rb) = (a.report(), b.report());
+        prop_assert_eq!(ra.render_counts(), rb.render_counts());
+        prop_assert!(ra.counts_identical(&rb));
+        // The timing-free projection of the JSON agrees too.
+        let cut = |r: &MetricsReport| {
+            let j = r.to_json();
+            j[..j.find("\"timings\"").unwrap()].to_string()
+        };
+        prop_assert_eq!(cut(&ra), cut(&rb));
+    }
+
+    /// Off mode is observationally silent for every op sequence.
+    #[test]
+    fn off_mode_records_nothing(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut t = Telemetry::new(ObsMode::Off);
+        drive(&mut t, &ops);
+        let r = t.report();
+        prop_assert!(r.counts.is_empty());
+        prop_assert!(r.gauges.is_empty());
+        prop_assert!(r.timings.is_empty());
+        prop_assert_eq!(r.render_counts(), "counts:\ngauges:\n");
+    }
+
+    /// Counter totals are order-independent: shuffling the count ops (keeping
+    /// non-count ops out) changes nothing in the deterministic half.
+    #[test]
+    fn counter_totals_are_order_independent(
+        pairs in prop::collection::vec((0u8..8, 1u64..100), 1..40),
+        rot in 0usize..40,
+    ) {
+        let mut a = Telemetry::new(ObsMode::On);
+        for &(k, n) in &pairs {
+            a.count(&format!("c{k}"), n);
+        }
+        let mut rotated = pairs.clone();
+        rotated.rotate_left(rot % pairs.len());
+        let mut b = Telemetry::new(ObsMode::On);
+        for &(k, n) in &rotated {
+            b.count(&format!("c{k}"), n);
+        }
+        prop_assert_eq!(a.report().render_counts(), b.report().render_counts());
+    }
+
+    /// Stage shares are fractions of the root and never exceed full coverage
+    /// when children are genuinely nested (each child timed within the root).
+    #[test]
+    fn stage_coverage_bounded_for_nested_spans(names in prop::collection::vec(0u8..6, 1..10)) {
+        let mut t = Telemetry::new(ObsMode::On);
+        t.begin("root");
+        for k in &names {
+            t.time(&format!("s{k}"), || std::hint::black_box(0));
+        }
+        t.end();
+        let r = t.report();
+        let cov = r.stage_coverage("root");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&cov), "coverage {cov}");
+        for (path, share) in r.stage_shares("root") {
+            prop_assert!(path.starts_with("root/"));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&share));
+        }
+    }
+}

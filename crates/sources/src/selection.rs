@@ -76,7 +76,9 @@ pub fn select_greedy_utility(estimates: &[SourceEstimate], user: &UserContext) -
         .filter(|e| e.relevance > 0.0 && e.availability > 0.0)
         .map(|e| (user.utility(&estimate_quality(e, user)), e))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp keeps the rank total under NaN utilities; ties break on the
+    // stable source id so selection is order-independent.
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
     let cap = user.max_sources.unwrap_or(usize::MAX);
     let mut spent = 0.0;
     let mut out = Vec::new();

@@ -1,0 +1,94 @@
+//! Property tests for source selection: greedy utility selection is a pure
+//! function of the estimate *set* — shuffling the candidates never changes
+//! which sources are picked, even when estimate fields are NaN (a source
+//! whose profiling diverged must not scramble the ranking of the others).
+
+use proptest::prelude::*;
+use wrangler_context::UserContext;
+use wrangler_sources::selection::{select_greedy_utility, SourceEstimate};
+use wrangler_sources::SourceId;
+
+/// Estimate fields, possibly-NaN where profiling can diverge; ids are
+/// assigned by position so every fleet has stable, distinct sources.
+#[allow(clippy::type_complexity)]
+fn arb_fields() -> impl Strategy<Value = ((f64, f64), (u64, f64, f64, f64))> {
+    (
+        (
+            prop_oneof![3 => 0.0f64..=1.0, 1 => Just(f64::NAN)],
+            prop_oneof![3 => 0.0f64..=1.0, 1 => Just(f64::NAN)],
+        ),
+        (0u64..20, 0.0f64..10.0, 0.01f64..=1.0, 0.0f64..=1.0),
+    )
+}
+
+fn arb_fleet() -> impl Strategy<Value = Vec<SourceEstimate>> {
+    prop::collection::vec(arb_fields(), 1..12).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(
+                |(i, ((coverage, accuracy), (age, cost, relevance, availability)))| {
+                    SourceEstimate {
+                        id: SourceId(i as u32),
+                        coverage,
+                        accuracy,
+                        age,
+                        cost,
+                        relevance,
+                        availability,
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+proptest! {
+    /// Shuffling the candidate list never changes the selected set or order.
+    #[test]
+    fn greedy_selection_is_shuffle_invariant(
+        fleet in arb_fleet(),
+        rot in 0usize..12,
+        rev in any::<bool>(),
+        budget in prop_oneof![Just(f64::INFINITY), 1.0f64..40.0],
+        cap in prop_oneof![Just(None), (1usize..6).prop_map(Some)],
+    ) {
+        let mut user = UserContext::balanced("prop").with_budget(budget);
+        if let Some(c) = cap {
+            user = user.with_max_sources(c);
+        }
+        let mut shuffled = fleet.clone();
+        let n = shuffled.len();
+        shuffled.rotate_left(rot % n);
+        if rev {
+            shuffled.reverse();
+        }
+        prop_assert_eq!(
+            select_greedy_utility(&fleet, &user),
+            select_greedy_utility(&shuffled, &user)
+        );
+    }
+
+    /// Selection respects the hard constraints for every fleet, NaN or not:
+    /// the cap, the budget, and the relevance/availability exclusions.
+    #[test]
+    fn greedy_selection_respects_constraints(
+        fleet in arb_fleet(),
+        budget in 1.0f64..40.0,
+        cap in 1usize..6,
+    ) {
+        let user = UserContext::balanced("prop")
+            .with_budget(budget)
+            .with_max_sources(cap);
+        let picked = select_greedy_utility(&fleet, &user);
+        prop_assert!(picked.len() <= cap);
+        let cost: f64 = picked
+            .iter()
+            .map(|id| fleet.iter().find(|e| e.id == *id).map_or(0.0, |e| e.cost))
+            .sum();
+        prop_assert!(cost <= budget + 1e-9, "cost {cost} over budget {budget}");
+        for id in &picked {
+            let e = fleet.iter().find(|e| e.id == *id).expect("picked from fleet");
+            prop_assert!(e.relevance > 0.0 && e.availability > 0.0);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Source-level lint gate (the repo-side twin of `wrangler-lint`'s artifact
-# analysis). Two rules, both enforced in CI via scripts/verify.sh:
+# analysis). Three rules, all enforced in CI via scripts/verify.sh:
 #
 #   1. No `.unwrap()` / `.expect(` in library crate `src/` outside test code.
 #      Library code must propagate errors; a deliberate invariant may stay if
@@ -11,6 +11,11 @@
 #      audit (`wrangler_lint::audit_steps`, `Plan::describe`). Use `BTreeMap`/
 #      `BTreeSet`, or justify a pure-lookup map with a `hash-ok: <reason>`
 #      comment.
+#
+#   3. No `partial_cmp` inside sort/extremum comparators in library code.
+#      `partial_cmp(..).unwrap_or(Equal)` makes float orderings silently
+#      input-order-dependent under NaN (the PR-3 bug class); use `total_cmp`
+#      plus a stable tie-break, or justify with `lint-allow: <reason>`.
 #
 # Scanning stops at the first `#[cfg(test)]` in a file: this repo keeps test
 # modules at the end of each source file.
@@ -79,6 +84,34 @@ done)
 if [ -n "$hash_hits" ]; then
   echo "lint: HashMap/HashSet in determinism-critical module (use BTreeMap/BTreeSet or add \`// hash-ok: <reason>\`):"
   echo "$hash_hits"
+  fail=1
+fi
+
+# --- Rule 3: NaN-unsafe comparators in sorts ---------------------------------
+# A `.sort_by(` / `.sort_unstable_by(` / `.max_by(` / `.min_by(` call opens a
+# short window (the comparator closure, in this codebase at most 6 lines)
+# within which `partial_cmp` is forbidden unless the line carries
+# `lint-allow: <reason>`. `fn partial_cmp` definitions (PartialOrd impls)
+# outside such a window are untouched.
+scan_nan_sorts() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }  # comment / doc-example lines
+    /\.sort_by\(|\.sort_unstable_by\(|\.sort_by_key\(|\.max_by\(|\.min_by\(/ { window = 6 }
+    window > 0 {
+      if ($0 ~ /partial_cmp/ && $0 !~ /lint-allow:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+      window--
+    }
+  ' "$f"
+}
+
+nan_hits=$(for f in $(lib_sources); do scan_nan_sorts "$f"; done)
+if [ -n "$nan_hits" ]; then
+  echo "lint: partial_cmp inside a sort comparator (NaN makes the order input-dependent; use total_cmp + a stable tie-break, or add \`// lint-allow: <reason>\`):"
+  echo "$nan_hits"
   fail=1
 fi
 

@@ -31,4 +31,10 @@ echo "==> e12 determinism (two runs must be byte-identical)"
 ./target/release/e12_lint > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
+echo "==> e13 observability (full run + count-field determinism)"
+./target/release/e13_observability
+./target/release/e13_observability --counts > "$tmp_a"
+./target/release/e13_observability --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
 echo "verify: all green"

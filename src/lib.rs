@@ -46,6 +46,7 @@ pub use wrangler_fusion as fusion;
 pub use wrangler_lint as lint;
 pub use wrangler_mapping as mapping;
 pub use wrangler_match as matching;
+pub use wrangler_obs as obs;
 pub use wrangler_quality as quality;
 pub use wrangler_resolve as resolve;
 pub use wrangler_sources as sources;
@@ -60,6 +61,7 @@ pub mod prelude {
     };
     pub use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
     pub use wrangler_lint::{Diagnostic, GateMode, Report, Severity};
+    pub use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
     pub use wrangler_sources::{FleetConfig, SourceId, SourceMeta, SourceRegistry};
     pub use wrangler_table::{DataType, Expr, Schema, Table, Value};
     pub use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
