@@ -1,0 +1,300 @@
+//! E14 — the precompiled parallel ER kernel on the measured hot path (§4.3).
+//!
+//! E13 showed entity resolution dominating the wrangle wall clock. Claim
+//! under test here: the [`ErKernel`] — the ER config compiled once against
+//! the union schema, per-row renderings/token sets cached, pairs scored
+//! across a deterministic strided worker pool — beats the uncompiled serial
+//! reference (`match_pairs`, which re-renders both rows for every pair) by
+//! ≥2× on the 40-source workload while producing **byte-identical** scores
+//! and clusters for any worker count; and the content-keyed pair-score
+//! cache answers 100% of lookups when a re-wrangle sees unchanged rows.
+//!
+//! Protocol: per fleet size, wrangle once to materialise the mapped union,
+//! rebuild the pipeline's candidate set (name blocking + exact-sku
+//! blocking), then time `REPS` runs of (a) serial `match_pairs` and (b)
+//! kernel compile+score at each worker count, taking the best of the runs
+//! (minimum suppresses scheduler noise on a shared box). Every kernel
+//! output is compared bit-for-bit against the serial pairs and the derived
+//! clusters. The cache section forces a structural re-wrangle with
+//! unchanged rows and reads the hit/miss counters. Timings are wall-clock;
+//! the count half of the metrics report is seeded-deterministic — `--counts`
+//! prints only that half and CI double-runs it to assert byte-identical
+//! output. A full run writes `BENCH_e14.json`.
+//!
+//! `lint-allow:` exemptions here follow the experiment-binary convention:
+//! drivers may panic on their own fixtures.
+
+use std::time::Instant;
+
+use wrangler_bench::{default_fleet_config, fleet, header, row, session};
+use wrangler_context::UserContext;
+use wrangler_core::working::Artifact;
+use wrangler_core::Wrangler;
+use wrangler_resolve::{
+    candidates_blocked, candidates_blocked_exact, cluster_pairs, match_pairs, ErConfig, ErKernel,
+    ScoredPair,
+};
+use wrangler_sources::FleetConfig;
+use wrangler_table::Table;
+
+const SEED: u64 = 1401;
+const FLEET_SIZES: [usize; 3] = [10, 20, 40];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+
+fn build(num_sources: usize) -> Wrangler {
+    let cfg = FleetConfig {
+        num_sources,
+        ..default_fleet_config()
+    };
+    let f = fleet(&cfg, SEED);
+    session(&f, UserContext::balanced("e14"))
+}
+
+/// The pipeline's ER candidate set over a union table: name blocking plus
+/// exact-key blocking, sorted and deduplicated (mirrors the wrangle stage).
+fn pipeline_candidates(union: &Table) -> Vec<(usize, usize)> {
+    let mut candidates =
+        candidates_blocked(union, "name").expect("union has a name column"); // lint-allow: experiment fixture
+    candidates.extend(
+        candidates_blocked_exact(union, "sku").expect("union has a sku column"), // lint-allow: experiment fixture
+    );
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+/// Best (minimum) wall-clock seconds of `REPS` runs of `f` — the standard
+/// noise-resistant estimator on a shared/oversubscribed machine, where the
+/// median still absorbs scheduler stalls.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Bit-level equality of two scored-pair lists (indices and score bits).
+fn pairs_identical(a: &[ScoredPair], b: &[ScoredPair]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.i == y.i && x.j == y.j && x.score.to_bits() == y.score.to_bits()
+        })
+}
+
+struct FleetResult {
+    sources: usize,
+    candidates: usize,
+    serial_ms: f64,
+    kernel_ms: Vec<(usize, f64)>,
+    identical: bool,
+    no_idle_worker: bool,
+}
+
+fn measure_fleet(num_sources: usize) -> FleetResult {
+    let mut w = build(num_sources);
+    w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+    let union = w.union_table().expect("wrangle caches the union"); // lint-allow: experiment fixture
+    let cfg: ErConfig = w.er_config().clone();
+    let candidates = pipeline_candidates(&union);
+
+    // Serial reference: the uncompiled path, column names resolved once but
+    // every pair re-rendering both rows.
+    let serial =
+        match_pairs(&union, &candidates, &cfg).expect("serial scoring succeeds"); // lint-allow: experiment fixture
+    let serial_clusters =
+        cluster_pairs(union.num_rows(), serial.iter().map(|p| (p.i, p.j)));
+    let serial_ms = 1e3
+        * best_secs(|| {
+            std::hint::black_box(
+                match_pairs(&union, &candidates, &cfg).expect("serial scoring succeeds"), // lint-allow: experiment fixture
+            );
+        });
+
+    let mut kernel_ms = Vec::new();
+    let mut identical = true;
+    let mut no_idle_worker = true;
+    for &workers in &WORKERS {
+        // Timed end-to-end: compile + parallel score. Precompilation is part
+        // of the kernel's cost, not free setup.
+        let ms = 1e3
+            * best_secs(|| {
+                let k = ErKernel::compile(&union, &cfg).expect("schema compiles"); // lint-allow: experiment fixture
+                std::hint::black_box(
+                    k.match_pairs_parallel(&candidates, workers)
+                        .expect("parallel scoring succeeds"), // lint-allow: experiment fixture
+                );
+            });
+        kernel_ms.push((workers, ms));
+        let k = ErKernel::compile(&union, &cfg).expect("schema compiles"); // lint-allow: experiment fixture
+        let (pairs, stats) = k
+            .match_pairs_parallel(&candidates, workers)
+            .expect("parallel scoring succeeds"); // lint-allow: experiment fixture
+        let clusters = cluster_pairs(union.num_rows(), pairs.iter().map(|p| (p.i, p.j)));
+        identical &= pairs_identical(&serial, &pairs) && clusters == serial_clusters;
+        let spawned = workers.min(candidates.len().max(1));
+        no_idle_worker &= stats.iter().map(|s| s.items).sum::<u64>() == candidates.len() as u64
+            && stats.len() == spawned
+            && (candidates.len() < spawned || stats.iter().all(|s| s.items > 0));
+    }
+
+    FleetResult {
+        sources: num_sources,
+        candidates: candidates.len(),
+        serial_ms,
+        kernel_ms,
+        identical,
+        no_idle_worker,
+    }
+}
+
+/// Cache replay: wrangle, force the structural path with unchanged rows,
+/// and report (hits, misses, candidates) of the second pass.
+fn cache_replay(num_sources: usize) -> (u64, u64, u64) {
+    let mut w = build(num_sources).with_er_workers(4);
+    w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+    let first = w.metrics();
+    w.working.invalidate(Artifact::Clusters);
+    w.rewrangle().expect("structural rewrangle"); // lint-allow: experiment fixture
+    let second = w.metrics();
+    let get = |m: &wrangler_core::MetricsReport, k: &str| m.counts.get(k).copied().unwrap_or(0);
+    let per_pass = get(&first, "er.candidates");
+    (
+        get(&second, "er.cache.hits") - get(&first, "er.cache.hits"),
+        get(&second, "er.cache.misses") - get(&first, "er.cache.misses"),
+        per_pass,
+    )
+}
+
+fn main() {
+    let counts_only = std::env::args().any(|a| a == "--counts");
+    if counts_only {
+        // Deterministic half only: counts and gauges of the largest workload
+        // with a fixed worker count, byte-identical across runs. A pinned
+        // worker count matters: per-worker counters depend on the pool size.
+        let mut w = build(*FLEET_SIZES.last().expect("const non-empty")) // lint-allow: const fixture
+            .with_er_workers(4);
+        w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
+        print!("{}", w.metrics().render_counts());
+        return;
+    }
+
+    println!("E14: precompiled parallel ER kernel vs serial reference (200 products)");
+    println!("(serial = uncompiled match_pairs re-rendering rows per pair; kernel@w =");
+    println!(" ErKernel compile + strided scoring with w workers; best of {REPS} runs;");
+    println!(" identical = pairs, score bits and clusters equal serial at every w)\n");
+
+    let widths = [7, 10, 9, 9, 9, 9, 9, 9, 10];
+    println!(
+        "{}",
+        header(
+            &[
+                "sources", "cands", "serial", "k@1", "k@2", "k@4", "k@8", "speedup4",
+                "identical"
+            ],
+            &widths
+        )
+    );
+
+    let mut results = Vec::new();
+    for &n in &FLEET_SIZES {
+        let r = measure_fleet(n);
+        let ms_at = |w: usize| {
+            r.kernel_ms
+                .iter()
+                .find(|&&(k, _)| k == w)
+                .map_or(f64::NAN, |&(_, ms)| ms)
+        };
+        let speedup4 = r.serial_ms / ms_at(4);
+        let cells = vec![
+            r.sources.to_string(),
+            r.candidates.to_string(),
+            format!("{:.1}", r.serial_ms),
+            format!("{:.1}", ms_at(1)),
+            format!("{:.1}", ms_at(2)),
+            format!("{:.1}", ms_at(4)),
+            format!("{:.1}", ms_at(8)),
+            format!("{:.2}x", speedup4),
+            if r.identical { "yes" } else { "NO" }.to_string(),
+        ];
+        println!("{}", row(&cells, &widths));
+        results.push(r);
+    }
+
+    // --- Cache replay on the largest workload -------------------------------
+    let big = *FLEET_SIZES.last().expect("const non-empty"); // lint-allow: const fixture
+    let (hits, misses, per_pass) = cache_replay(big);
+    let hit_rate = if per_pass == 0 {
+        0.0
+    } else {
+        hits as f64 / per_pass as f64
+    };
+    println!(
+        "\npair-score cache replay at {big} sources (structural rewrangle, rows unchanged):\n  \
+         candidates/pass = {per_pass}, second-pass hits = {hits}, misses = {misses}, \
+         hit rate = {:.1}%",
+        100.0 * hit_rate
+    );
+
+    // --- Verdicts ------------------------------------------------------------
+    let last = results.last().expect("const non-empty fleet list"); // lint-allow: const fixture
+    let speedup4 = last.serial_ms
+        / last
+            .kernel_ms
+            .iter()
+            .find(|&&(w, _)| w == 4)
+            .map_or(f64::NAN, |&(_, ms)| ms);
+    let verdict_speed = speedup4 >= 2.0;
+    let verdict_identical = results.iter().all(|r| r.identical);
+    let verdict_workers = results.iter().all(|r| r.no_idle_worker);
+    let verdict_cache = misses == 0 && hits == per_pass && per_pass > 0;
+    println!(
+        "verdict: kernel@4 {} the 2x floor at {big} sources ({speedup4:.2}x); outputs {}; \
+         worker items {} candidates; cache replay {}",
+        if verdict_speed { "clears" } else { "MISSES" },
+        if verdict_identical {
+            "byte-identical to serial"
+        } else {
+            "DIVERGE"
+        },
+        if verdict_workers { "cover" } else { "DROP" },
+        if verdict_cache { "100% hits" } else { "INCOMPLETE" },
+    );
+
+    // --- Machine-readable results -------------------------------------------
+    let fleets_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let kernels = r
+                .kernel_ms
+                .iter()
+                .map(|(w, ms)| format!("\"{w}\":{:.4}", ms))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"sources\":{},\"candidates\":{},\"serial_ms\":{:.4},\
+                 \"kernel_ms\":{{{kernels}}},\"identical\":{}}}",
+                r.sources, r.candidates, r.serial_ms, r.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"e14_er_scaling\",\"seed\":{SEED},\
+         \"speedup_at_4_workers\":{speedup4:.4},\
+         \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"candidates_per_pass\":{per_pass}}},\
+         \"fleets\":[{}]}}\n",
+        fleets_json.join(",")
+    );
+    match std::fs::write("BENCH_e14.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_e14.json"),
+        Err(e) => println!("\ncould not write BENCH_e14.json: {e}"),
+    }
+
+    println!("\nShape expected: the kernel wins big even at 1 worker (precompilation —");
+    println!("renderings, char vectors and token sets cached per row instead of per");
+    println!("pair); extra workers help only when cores exist, and never change a bit");
+    println!("of output. The cache turns an unchanged-rows re-wrangle into pure lookup.");
+}

@@ -8,7 +8,7 @@
 //! are stale and counts the actual work performed, so experiments can show
 //! incremental ≪ full recomputation (E7b).
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// A derived artifact in the Working Data, at per-source or global grain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,12 +66,93 @@ impl std::ops::Sub for WorkCounters {
     }
 }
 
+/// Cross-pass cache of entity-resolution pair scores, keyed on row
+/// *content* (the [`ErKernel`]'s canonical content keys), not row position.
+/// A full re-wrangle whose union rows are unchanged — e.g. an incremental
+/// `rewrangle` forced down the structural path by a dirty [`Artifact::
+/// Clusters`] — finds every pair here and skips re-scoring. Data changes
+/// invalidate themselves (changed rows render different keys); only an ER
+/// *rule* change (refined weights/comparators) must [`Self::clear`] the
+/// cache, which the session does alongside invalidating
+/// [`Artifact::Clusters`] at those sites.
+///
+/// [`ErKernel`]: wrangler_resolve::ErKernel
+#[derive(Debug, Clone, Default)]
+pub struct PairScoreCache {
+    scores: BTreeMap<String, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PairScoreCache {
+    /// Entry bound: the cache wipes itself rather than grow past this (a
+    /// deterministic safety valve for very long sessions).
+    const CAP: usize = 1 << 20;
+
+    /// Unambiguous key of a scored pair: the left row key is
+    /// length-prefixed, so concatenation cannot collide.
+    pub fn pair_key(a: &str, b: &str) -> String {
+        format!("{}#{a}{b}", a.len())
+    }
+
+    /// Cached score for a pair key, counting the hit or miss.
+    pub fn lookup(&mut self, key: &str) -> Option<f64> {
+        match self.scores.get(key) {
+            Some(&s) => {
+                self.hits += 1;
+                Some(s)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a freshly computed score.
+    pub fn insert(&mut self, key: String, score: f64) {
+        if self.scores.len() >= Self::CAP {
+            self.scores.clear();
+        }
+        self.scores.insert(key, score);
+    }
+
+    /// Drop every entry (the ER rule changed: all cached scores are stale).
+    /// Hit/miss statistics survive — they describe the session, not the
+    /// current rule.
+    pub fn clear(&mut self) {
+        self.scores.clear();
+    }
+
+    /// Number of cached pair scores.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to be scored so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 /// Dirtiness tracking for derived artifacts.
 #[derive(Debug, Clone, Default)]
 pub struct WorkingData {
     dirty: HashSet<Artifact>,
     /// Cumulative work counters.
     pub work: WorkCounters,
+    /// Content-keyed ER pair-score cache (see [`PairScoreCache`]).
+    pub pair_scores: PairScoreCache,
 }
 
 impl WorkingData {
@@ -162,6 +243,30 @@ mod tests {
         wd.invalidate(Artifact::Result);
         assert_eq!(wd.dirty_slots(), vec![(0, 3), (2, 1)]);
         assert_eq!(wd.dirty_count(), 3);
+    }
+
+    #[test]
+    fn pair_score_cache_hits_and_misses() {
+        let mut c = PairScoreCache::default();
+        let k = PairScoreCache::pair_key("row-a", "row-b");
+        assert_eq!(c.lookup(&k), None);
+        c.insert(k.clone(), 0.75);
+        assert_eq!(c.lookup(&k), Some(0.75));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&k), None);
+    }
+
+    #[test]
+    fn pair_keys_cannot_collide_across_the_join() {
+        // ("ab", "c") vs ("a", "bc") concatenate identically without the
+        // length prefix.
+        assert_ne!(
+            PairScoreCache::pair_key("ab", "c"),
+            PairScoreCache::pair_key("a", "bc")
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
 use wrangler_quality::profile::{quality_vector, ExternalSignals, TableProfile};
 use wrangler_resolve::learn::{refine_rule, LabeledPair};
 use wrangler_resolve::{
-    candidates_blocked, cluster_pairs, match_pairs, ErConfig, FieldSim, SimKind,
+    candidates_blocked, cluster_pairs, ErConfig, ErKernel, FieldSim, SimKind,
 };
 use wrangler_sources::faults::{Degradation, FaultConfig, FaultProfile};
 use wrangler_sources::{
@@ -29,7 +29,7 @@ use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
 use crate::acquire::{Acquisition, AcquisitionSummary};
 use crate::planner::{Plan, SelectionStrategy};
-use crate::working::{Artifact, WorkingData};
+use crate::working::{Artifact, PairScoreCache, WorkingData};
 
 /// Per-source wrangling state in the Working Data.
 #[derive(Debug, Clone)]
@@ -127,6 +127,9 @@ pub struct Wrangler {
     registry: SourceRegistry,
     states: Vec<SourceState>,
     er_cfg: ErConfig,
+    /// Worker-count override for the ER scoring pool (`None` = hardware
+    /// parallelism). Output is identical for any value; experiments pin it.
+    er_workers: Option<usize>,
     match_cfg: MatchConfig,
     now: u64,
     cache: Option<WrangleCache>,
@@ -166,6 +169,7 @@ impl Wrangler {
             registry: SourceRegistry::new(),
             states: Vec::new(),
             er_cfg,
+            er_workers: None,
             match_cfg: MatchConfig::default(),
             now: 0,
             cache: None,
@@ -188,6 +192,14 @@ impl Wrangler {
     /// Replace the matcher configuration (e.g. the names-only baseline).
     pub fn with_match_config(mut self, cfg: MatchConfig) -> Wrangler {
         self.match_cfg = cfg;
+        self
+    }
+
+    /// Pin the ER scoring pool to `workers` threads (default: hardware
+    /// parallelism). Clusters and scores are byte-identical for any worker
+    /// count — this knob trades wall-clock only (E14's sweep axis).
+    pub fn with_er_workers(mut self, workers: usize) -> Wrangler {
+        self.er_workers = Some(workers.max(1));
         self
     }
 
@@ -274,6 +286,9 @@ impl Wrangler {
         if (new_plan.er_threshold - old_plan.er_threshold).abs() > 1e-12 {
             self.er_cfg = build_er_config(&self.target, new_plan.er_threshold);
             self.working.invalidate(Artifact::Clusters);
+            // Pair scores survive: they are threshold-independent (only the
+            // match filter moves), so the re-clustering pass replays them
+            // from the content-keyed cache instead of re-scoring.
         }
         self.working.invalidate(Artifact::Result);
     }
@@ -697,7 +712,39 @@ impl Wrangler {
             candidates.dedup();
         }
         self.working.work.er_pairs += candidates.len();
-        let pairs = match_pairs(&union_table, &candidates, &self.er_cfg)?;
+        // Score through the precompiled kernel: the ER config is compiled
+        // once against the union schema (an unknown column errors before any
+        // scoring), per-row renderings/token sets are cached, and only pairs
+        // whose row content the session has not scored before reach the
+        // worker pool — the rest come from the content-keyed pair-score
+        // cache. Clusters and scores are byte-identical to the serial path
+        // for any worker count.
+        let kernel = ErKernel::compile(&union_table, &self.er_cfg)?;
+        let keys = kernel.content_keys();
+        let mut scores = vec![0.0f64; candidates.len()];
+        let mut miss_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut miss_slots: Vec<(usize, String)> = Vec::new();
+        for (k, &(i, j)) in candidates.iter().enumerate() {
+            let ck = PairScoreCache::pair_key(&keys[i], &keys[j]);
+            match self.working.pair_scores.lookup(&ck) {
+                Some(s) => scores[k] = s,
+                None => {
+                    miss_pairs.push((i, j));
+                    miss_slots.push((k, ck));
+                }
+            }
+        }
+        let workers = self.er_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        let (miss_scores, worker_stats) = kernel.score_pairs_parallel(&miss_pairs, workers)?;
+        for ((k, ck), &s) in miss_slots.into_iter().zip(&miss_scores) {
+            scores[k] = s;
+            self.working.pair_scores.insert(ck, s);
+        }
+        let pairs = kernel.filter_matches(&candidates, &scores);
         let clusters = cluster_pairs(union_table.num_rows(), pairs.iter().map(|p| (p.i, p.j)));
         let mut row_entity = vec![0usize; union_table.num_rows()];
         for (e, cluster) in clusters.iter().enumerate() {
@@ -706,6 +753,15 @@ impl Wrangler {
             }
         }
         self.working.mark_clean(Artifact::Clusters);
+        for (w, st) in worker_stats.iter().enumerate() {
+            self.obs.count(&format!("er.worker{w}.items"), st.items);
+            self.obs.record_nanos(&format!("worker{w}"), st.busy_nanos, 1);
+        }
+        self.obs.count(
+            "er.cache.hits",
+            (candidates.len() - miss_pairs.len()) as u64,
+        );
+        self.obs.count("er.cache.misses", miss_pairs.len() as u64);
         self.obs.count("er.candidates", candidates.len() as u64);
         self.obs.count("er.match_pairs", pairs.len() as u64);
         self.obs.count("er.entities", clusters.len() as u64);
@@ -1273,7 +1329,10 @@ impl Wrangler {
             candidates.sort_unstable();
             candidates.dedup();
         }
-        let pairs = match_pairs(&union_table, &candidates, &cfg).ok()?;
+        let pairs = ErKernel::compile(&union_table, &cfg)
+            .ok()?
+            .match_pairs(&candidates)
+            .ok()?;
         let new_entities =
             cluster_pairs(union_table.num_rows(), pairs.iter().map(|p| (p.i, p.j))).len();
         let old_entities = cache.entities.max(1);
@@ -1283,7 +1342,22 @@ impl Wrangler {
         }
         self.er_cfg = cfg;
         self.working.invalidate(Artifact::Clusters);
+        // The rule changed, so every cached pair score is stale: the cache
+        // is invalidated alongside the clusters it fed.
+        self.working.pair_scores.clear();
         Some(f1.f1)
+    }
+
+    /// The union table of the last wrangle (the ER kernel's input), rebuilt
+    /// from the cache. `None` before the first wrangle. Experiment harnesses
+    /// use this to benchmark the measured hot path on the real workload.
+    pub fn union_table(&self) -> Option<Table> {
+        let cache = self.cache.as_ref()?;
+        let mut t = Table::empty(self.target.clone());
+        for (_, row) in &cache.union {
+            t.push_row(row.clone()).ok()?;
+        }
+        Some(t)
     }
 }
 
@@ -1934,6 +2008,60 @@ mod tests {
         assert!(m2.counts["refuse.slots"] > 0);
         assert!(m2.timings.contains_key("rewrangle/refuse"));
         assert!(m2.timings.contains_key("rewrangle/assemble"));
+    }
+
+    #[test]
+    fn er_worker_counters_cover_candidates_and_cache_replays_unchanged_rows() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t")).with_er_workers(3);
+        let out = w.wrangle().unwrap();
+        let m = &out.metrics;
+        // Per-worker ER items sum to the candidate count; with a fresh cache
+        // every candidate is a miss and no worker sits idle.
+        let worker_items: Vec<u64> = m
+            .counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("er.worker") && k.ends_with(".items"))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(!worker_items.is_empty());
+        assert_eq!(worker_items.iter().sum::<u64>(), m.counts["er.candidates"]);
+        assert!(
+            worker_items.iter().all(|&n| n > 0),
+            "no worker may be idle: {worker_items:?}"
+        );
+        assert_eq!(m.counts["er.cache.misses"], m.counts["er.candidates"]);
+        // Zero-valued counters are never recorded, so a cold cache leaves no
+        // hits entry at all.
+        assert!(!m.counts.contains_key("er.cache.hits"));
+        // Force the structural path with unchanged rows: every pair score
+        // must come from the content-keyed cache, and the output must be
+        // identical to the first pass. Counters are cumulative across
+        // passes, so compare the second pass as a delta over the first.
+        w.working.invalidate(Artifact::Clusters);
+        let out2 = w.rewrangle().unwrap();
+        let m2 = &out2.metrics;
+        let per_pass = m.counts["er.candidates"];
+        assert_eq!(m2.counts["er.candidates"], 2 * per_pass);
+        assert_eq!(m2.counts["er.cache.hits"], per_pass);
+        assert_eq!(m2.counts["er.cache.misses"], per_pass, "no new misses");
+        assert_eq!(out2.entities, out.entities);
+        assert_eq!(out2.table, out.table);
+    }
+
+    #[test]
+    fn er_output_is_identical_for_any_worker_count() {
+        let fleet = small_fleet();
+        let mut one = session(&fleet, UserContext::balanced("t")).with_er_workers(1);
+        let mut five = session(&fleet, UserContext::balanced("t")).with_er_workers(5);
+        let a = one.wrangle().unwrap();
+        let b = five.wrangle().unwrap();
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.table, b.table);
+        assert_eq!(
+            a.metrics.counts["er.match_pairs"],
+            b.metrics.counts["er.match_pairs"]
+        );
     }
 
     #[test]

@@ -86,25 +86,33 @@ pub fn candidates_blocked_exact(
 
 /// Sorted neighbourhood: sort rows by the column's rendering, compare each
 /// row with the next `window − 1` rows in that order. Robust to key-prefix
-/// typos that break key blocking.
+/// typos that break key blocking. Null rows are excluded before sorting —
+/// the "nulls never compared" contract both blocking variants uphold — and
+/// a window below 2 is a structured error, not a panic.
 pub fn candidates_sorted_neighborhood(
     table: &Table,
     column: &str,
     window: usize,
 ) -> wrangler_table::Result<Vec<(usize, usize)>> {
-    assert!(window >= 2, "window must cover at least a pair");
+    if window < 2 {
+        return Err(wrangler_table::TableError::Invalid(format!(
+            "sorted-neighbourhood window must cover at least a pair (got {window})"
+        )));
+    }
     let col = table.column_named(column)?;
-    let mut order: Vec<usize> = (0..col.len()).collect();
-    order.sort_by(|&a, &b| {
-        col[a]
-            .render()
-            .to_lowercase()
-            .cmp(&col[b].render().to_lowercase())
-    });
+    // Keys rendered once per row (not once per comparison); ties keep the
+    // original row order, as the previous stable sort did.
+    let mut keyed: Vec<(String, usize)> = col
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_null())
+        .map(|(i, v)| (v.render().to_lowercase(), i))
+        .collect();
+    keyed.sort_unstable();
     let mut out = Vec::new();
-    for (pos, &i) in order.iter().enumerate() {
-        for &j in order.iter().skip(pos + 1).take(window - 1) {
-            out.push((i.min(j), i.max(j)));
+    for (pos, (_, i)) in keyed.iter().enumerate() {
+        for (_, j) in keyed.iter().skip(pos + 1).take(window - 1) {
+            out.push((*i.min(j), *i.max(j)));
         }
     }
     Ok(out)
@@ -175,6 +183,44 @@ mod tests {
         // Window 4 on 4 rows = all pairs.
         let all = candidates_sorted_neighborhood(&t, "name", 4).unwrap();
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn sorted_neighborhood_nulls_never_compared() {
+        // Mirrors `nulls_never_compared` for the sorted-neighbourhood path:
+        // null rows must enter neither the sort order nor the window.
+        let t = Table::literal(
+            &["name"],
+            vec![
+                vec![Value::Null],
+                vec!["beta".into()],
+                vec![Value::Null],
+                vec!["alpha".into()],
+            ],
+        )
+        .unwrap();
+        let pairs = candidates_sorted_neighborhood(&t, "name", 2).unwrap();
+        assert_eq!(pairs, vec![(1, 3)]);
+        // Even a window spanning everything only pairs the non-null rows.
+        let wide = candidates_sorted_neighborhood(&t, "name", 4).unwrap();
+        assert_eq!(wide, vec![(1, 3)]);
+        let all_null =
+            Table::literal(&["name"], vec![vec![Value::Null], vec![Value::Null]]).unwrap();
+        assert!(candidates_sorted_neighborhood(&all_null, "name", 3)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sorted_neighborhood_small_window_is_error_not_panic() {
+        let t = names(&["a", "b"]);
+        for window in [0, 1] {
+            let err = candidates_sorted_neighborhood(&t, "name", window).unwrap_err();
+            assert!(
+                matches!(err, wrangler_table::TableError::Invalid(_)),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]

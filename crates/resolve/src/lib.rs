@@ -8,6 +8,10 @@
 //! provides the full classical stack:
 //!
 //! * [`sim`] — weighted record similarity over typed field comparators;
+//! * [`kernel`] — the [`ErKernel`]: a config precompiled against one table
+//!   (columns resolved, per-row renderings/token sets cached), scoring
+//!   candidate pairs serially or across a deterministic strided worker pool
+//!   with output bit-identical to the serial path;
 //! * [`blocking`] — key-based blocking and sorted-neighbourhood candidate
 //!   generation, versus the naive O(n²) baseline (the §4.3 scalability
 //!   experiment E7 measures the crossover);
@@ -18,6 +22,7 @@
 
 pub mod blocking;
 pub mod cluster;
+pub mod kernel;
 pub mod learn;
 pub mod sim;
 
@@ -25,6 +30,7 @@ pub use blocking::{
     candidates_blocked, candidates_blocked_exact, candidates_naive, candidates_sorted_neighborhood,
 };
 pub use cluster::{cluster_pairs, UnionFind};
+pub use kernel::{ErKernel, WorkerStat};
 pub use sim::{record_similarity, ErConfig, FieldSim, SimKind};
 
 use wrangler_table::Table;
@@ -40,15 +46,21 @@ pub struct ScoredPair {
     pub score: f64,
 }
 
-/// Score candidate pairs and keep those at or above the config threshold.
+/// Score candidate pairs serially and keep those at or above the config
+/// threshold. This is the uncompiled reference path — it re-renders both
+/// rows for every pair — kept as the correctness oracle and the E14
+/// baseline; the hot path is [`ErKernel`]. Column names are validated up
+/// front, so an unknown column errors before any scoring (even with zero
+/// candidates).
 pub fn match_pairs(
     table: &Table,
     candidates: &[(usize, usize)],
     cfg: &ErConfig,
 ) -> wrangler_table::Result<Vec<ScoredPair>> {
+    let cols = sim::resolve_columns(table, cfg)?;
     let mut out = Vec::new();
     for &(i, j) in candidates {
-        let score = record_similarity(table, i, j, cfg)?;
+        let score = sim::record_similarity_resolved(table, i, j, cfg, &cols)?;
         if score >= cfg.threshold {
             out.push(ScoredPair {
                 i: i.min(j),
@@ -60,15 +72,16 @@ pub fn match_pairs(
     Ok(out)
 }
 
-/// End-to-end ER: block, match, cluster. Returns entity clusters of row
-/// indices (singletons included), in order of first row.
+/// End-to-end ER: block, match (via the precompiled kernel), cluster.
+/// Returns entity clusters of row indices (singletons included), in order
+/// of first row.
 pub fn resolve(
     table: &Table,
     blocking_column: &str,
     cfg: &ErConfig,
 ) -> wrangler_table::Result<Vec<Vec<usize>>> {
     let candidates = candidates_blocked(table, blocking_column)?;
-    let pairs = match_pairs(table, &candidates, cfg)?;
+    let pairs = ErKernel::compile(table, cfg)?.match_pairs(&candidates)?;
     Ok(cluster_pairs(
         table.num_rows(),
         pairs.iter().map(|p| (p.i, p.j)),
@@ -123,6 +136,15 @@ mod tests {
         let mut sorted = big.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn match_pairs_rejects_unknown_column_before_scoring() {
+        // The error must surface even when there is nothing to score: column
+        // validation happens up front, not lazily inside the pair loop.
+        let bad = ErConfig::text_over(&["ghost"], 0.5);
+        assert!(match_pairs(&dupes(), &[], &bad).is_err());
+        assert!(match_pairs(&dupes(), &[(0, 1)], &bad).is_err());
     }
 
     #[test]

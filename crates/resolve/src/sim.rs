@@ -82,29 +82,49 @@ fn value_similarity(a: &Value, b: &Value, kind: SimKind) -> Option<f64> {
                     .max(levenshtein_sim(&sa, &sb))
             }
         }
-        SimKind::Numeric { scale } => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => {
-                let denom = scale.max(1e-9) * x.abs().max(y.abs()).max(1.0);
-                1.0 - ((x - y).abs() / denom).min(1.0)
+        SimKind::Numeric { scale } => {
+            let (fa, fb) = (a.as_f64(), b.as_f64());
+            // NaN/±∞ carry no usable magnitude: the proximity formula would
+            // yield NaN and poison the weighted average, so a non-finite
+            // operand makes the field incomparable, like null.
+            if fa.is_some_and(|x| !x.is_finite()) || fb.is_some_and(|y| !y.is_finite()) {
+                return None;
             }
-            _ => 0.0, // numeric comparator on non-numeric data: different
-        },
+            match (fa, fb) {
+                (Some(x), Some(y)) => {
+                    let denom = scale.max(1e-9) * x.abs().max(y.abs()).max(1.0);
+                    1.0 - ((x - y).abs() / denom).min(1.0)
+                }
+                _ => 0.0, // numeric comparator on non-numeric data: different
+            }
+        }
     })
 }
 
-/// Weighted record similarity; fields where either value is null are skipped
-/// (their weight excluded from the denominator). Two records sharing no
-/// comparable fields score 0.
-pub fn record_similarity(
+/// Resolve every configured column to its schema index, up front. An
+/// unknown column errors here, before any scoring work is spent.
+pub(crate) fn resolve_columns(
+    table: &Table,
+    cfg: &ErConfig,
+) -> wrangler_table::Result<Vec<usize>> {
+    cfg.fields
+        .iter()
+        .map(|f| table.schema().index_of(&f.column))
+        .collect()
+}
+
+/// [`record_similarity`] with the column indices already resolved
+/// (`cols[k]` is the index of `cfg.fields[k].column`).
+pub(crate) fn record_similarity_resolved(
     table: &Table,
     i: usize,
     j: usize,
     cfg: &ErConfig,
+    cols: &[usize],
 ) -> wrangler_table::Result<f64> {
     let mut num = 0.0;
     let mut den = 0.0;
-    for f in &cfg.fields {
-        let col = table.schema().index_of(&f.column)?;
+    for (f, &col) in cfg.fields.iter().zip(cols) {
         let a = table.get(i, col)?;
         let b = table.get(j, col)?;
         if let Some(s) = value_similarity(a, b, f.kind) {
@@ -113,6 +133,21 @@ pub fn record_similarity(
         }
     }
     Ok(if den == 0.0 { 0.0 } else { num / den })
+}
+
+/// Weighted record similarity; fields where either value is null are skipped
+/// (their weight excluded from the denominator). Two records sharing no
+/// comparable fields score 0. Column names are resolved once per call — an
+/// unknown column errors before any field is compared (batch callers should
+/// use [`crate::ErKernel`], which resolves once per table).
+pub fn record_similarity(
+    table: &Table,
+    i: usize,
+    j: usize,
+    cfg: &ErConfig,
+) -> wrangler_table::Result<f64> {
+    let cols = resolve_columns(table, cfg)?;
+    record_similarity_resolved(table, i, j, cfg, &cols)
 }
 
 #[cfg(test)]
@@ -198,6 +233,51 @@ mod tests {
             value_similarity(&"x".into(), &Value::Float(1.0), k),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn non_finite_numerics_are_incomparable_not_poisonous() {
+        let k = SimKind::Numeric { scale: 0.2 };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                value_similarity(&Value::Float(bad), &Value::Float(1.0), k),
+                None
+            );
+            assert_eq!(
+                value_similarity(&Value::Float(1.0), &Value::Float(bad), k),
+                None
+            );
+            // Non-finite vs non-numeric: still incomparable.
+            assert_eq!(value_similarity(&Value::Float(bad), &"x".into(), k), None);
+        }
+        // A record pair agreeing on every other field must not score NaN
+        // because one numeric cell is poisoned.
+        let t = Table::literal(
+            &["name", "price"],
+            vec![
+                vec!["Acme Widget".into(), Value::Float(f64::NAN)],
+                vec!["Acme Widget".into(), Value::Float(10.0)],
+            ],
+        )
+        .unwrap();
+        let cfg = ErConfig {
+            fields: vec![
+                FieldSim {
+                    column: "name".into(),
+                    weight: 2.0,
+                    kind: SimKind::Text,
+                },
+                FieldSim {
+                    column: "price".into(),
+                    weight: 1.0,
+                    kind: SimKind::Numeric { scale: 0.2 },
+                },
+            ],
+            threshold: 0.8,
+        };
+        let s = record_similarity(&t, 0, 1, &cfg).unwrap();
+        assert!(s.is_finite());
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use wrangler_resolve::{
-    candidates_blocked, candidates_naive, cluster_pairs, record_similarity, ErConfig, FieldSim,
-    SimKind, UnionFind,
+    candidates_blocked, candidates_naive, candidates_sorted_neighborhood, cluster_pairs,
+    match_pairs, record_similarity, ErConfig, ErKernel, FieldSim, SimKind, UnionFind,
 };
 use wrangler_table::{Table, Value};
 
@@ -20,6 +20,61 @@ fn arb_table(rows: usize) -> impl Strategy<Value = Table> {
             .collect();
         Table::literal(&["name", "x"], rows).expect("aligned")
     })
+}
+
+/// A "messy" second column: nulls, ordinary numbers, non-finite floats and
+/// plain text — everything real sources throw at a numeric comparator.
+fn arb_messy_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-100i64..100).prop_map(Value::Int),
+        (0usize..5).prop_map(|k| Value::Float(
+            [1.5, -2.25, f64::NAN, f64::INFINITY, f64::NEG_INFINITY][k]
+        )),
+        arb_name().prop_map(Value::from),
+    ]
+}
+
+/// Tables with nullable names and messy numerics — the adversarial input
+/// for the kernel/serial equivalence and non-finite-safety properties.
+fn arb_messy_table(rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec((prop::option::of(arb_name()), arb_messy_value()), 1..=rows).prop_map(
+        |rs| {
+            let rows = rs
+                .into_iter()
+                .map(|(n, v)| vec![n.map(Value::from).unwrap_or(Value::Null), v])
+                .collect();
+            Table::literal(&["name", "x"], rows).expect("aligned")
+        },
+    )
+}
+
+fn messy_cfg() -> ErConfig {
+    ErConfig {
+        fields: vec![
+            FieldSim {
+                column: "name".into(),
+                weight: 2.0,
+                kind: SimKind::Text,
+            },
+            FieldSim {
+                column: "x".into(),
+                weight: 1.0,
+                kind: SimKind::Numeric { scale: 0.5 },
+            },
+        ],
+        threshold: 0.7,
+    }
+}
+
+/// Canonical form of a clustering: rows sorted within clusters, clusters
+/// sorted by content.
+fn normalize(mut clusters: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort_unstable();
+    clusters
 }
 
 proptest! {
@@ -98,6 +153,79 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_kernel_equals_serial_match_pairs(t in arb_messy_table(18), workers in 1usize..7) {
+        let cfg = messy_cfg();
+        let candidates = candidates_naive(t.num_rows());
+        let serial = match_pairs(&t, &candidates, &cfg).unwrap();
+        let kernel = ErKernel::compile(&t, &cfg).unwrap();
+        let (par, stats) = kernel.match_pairs_parallel(&candidates, workers).unwrap();
+        prop_assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!((a.i, a.j), (b.i, b.j));
+            // Bit-identical, not approximately equal: the parallel kernel
+            // must be indistinguishable from the serial reference.
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        prop_assert_eq!(
+            stats.iter().map(|s| s.items).sum::<u64>(),
+            candidates.len() as u64
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_never_produce_non_finite_scores(t in arb_messy_table(12)) {
+        let cfg = messy_cfg();
+        let kernel = ErKernel::compile(&t, &cfg).unwrap();
+        for (i, j) in candidates_naive(t.num_rows()) {
+            let s = kernel.score(i, j).unwrap();
+            let r = record_similarity(&t, i, j, &cfg).unwrap();
+            prop_assert!(s.is_finite(), "kernel score not finite: {s}");
+            prop_assert!((0.0..=1.0).contains(&s), "out of range: {s}");
+            prop_assert_eq!(s.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_is_subset_of_naive_with_null_free_endpoints(
+        t in arb_messy_table(20),
+        window in 2usize..6,
+    ) {
+        let naive: std::collections::HashSet<(usize, usize)> =
+            candidates_naive(t.num_rows()).into_iter().collect();
+        for (i, j) in candidates_sorted_neighborhood(&t, "name", window).unwrap() {
+            prop_assert!(naive.contains(&(i, j)), "{i},{j} not a valid pair");
+            prop_assert!(!t.get(i, 0).unwrap().is_null(), "null row {i} compared");
+            prop_assert!(!t.get(j, 0).unwrap().is_null(), "null row {j} compared");
+        }
+    }
+
+    #[test]
+    fn clustering_is_invariant_under_candidate_order(t in arb_messy_table(16), seed in any::<u64>()) {
+        let cfg = messy_cfg();
+        let kernel = ErKernel::compile(&t, &cfg).unwrap();
+        let candidates = candidates_naive(t.num_rows());
+        let pairs = kernel.match_pairs(&candidates).unwrap();
+        let base = normalize(cluster_pairs(t.num_rows(), pairs.iter().map(|p| (p.i, p.j))));
+        // Deterministic Fisher–Yates driven by a splitmix64 stream.
+        let mut shuffled = candidates;
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for k in (1..shuffled.len()).rev() {
+            let r = (next() % (k as u64 + 1)) as usize;
+            shuffled.swap(k, r);
+        }
+        let pairs2 = kernel.match_pairs(&shuffled).unwrap();
+        let alt = normalize(cluster_pairs(t.num_rows(), pairs2.iter().map(|p| (p.i, p.j))));
+        prop_assert_eq!(base, alt);
     }
 
     #[test]

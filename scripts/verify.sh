@@ -4,8 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q (root package — tier-1)"
 cargo test -q
@@ -35,6 +35,12 @@ echo "==> e13 observability (full run + count-field determinism)"
 ./target/release/e13_observability
 ./target/release/e13_observability --counts > "$tmp_a"
 ./target/release/e13_observability --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
+echo "==> e14 ER kernel scaling (full run + count-field determinism)"
+./target/release/e14_er_scaling
+./target/release/e14_er_scaling --counts > "$tmp_a"
+./target/release/e14_er_scaling --counts > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
 echo "verify: all green"
