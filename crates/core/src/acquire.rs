@@ -400,6 +400,26 @@ impl Acquisition {
         self.breakers.get(i).map(|b| b.state())
     }
 
+    /// Report a *post-acquisition* failure for source `i`: its payload
+    /// cleared acquisition but poisoned a pipeline stage and was
+    /// quarantined. This trips the breaker immediately (a full
+    /// `failure_threshold` worth of failures) rather than recording a
+    /// single failure — the pass's own successful acquisition already
+    /// reset the consecutive-failure count, and a payload that breaks the
+    /// pipeline is worse evidence than a connection blip. No-op in naive
+    /// modes, which have no breakers.
+    pub fn record_pipeline_failure(&mut self, i: usize) {
+        if !matches!(self.mode, AcquisitionMode::Resilient) {
+            return;
+        }
+        let now = self.clock;
+        let threshold = self.breaker_cfg.failure_threshold;
+        let b = self.breaker(i);
+        for _ in 0..threshold.max(1) {
+            b.record_failure(now);
+        }
+    }
+
     fn breaker(&mut self, i: usize) -> &mut CircuitBreaker {
         if i >= self.breakers.len() {
             self.breakers
@@ -688,6 +708,28 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open { until: 21 });
         assert_eq!(b.availability(15), 0.0);
         assert_eq!(b.availability(21), 0.5);
+    }
+
+    #[test]
+    fn pipeline_failure_trips_breaker_immediately() {
+        let mut eng = Acquisition::default();
+        // Fresh breaker: a single pipeline-quarantine report must open it,
+        // even though acquisition itself succeeded this pass.
+        eng.record_pipeline_failure(2);
+        assert_eq!(eng.availability(2, 0), 0.0, "breaker open right away");
+        assert!(matches!(
+            eng.breaker_state(2),
+            Some(BreakerState::Open { .. })
+        ));
+        // Untouched sources are unaffected.
+        assert_eq!(eng.availability(0, 0), 1.0);
+        // After the cooldown the source is probe-eligible again.
+        let cooldown = BreakerConfig::default().cooldown;
+        assert_eq!(eng.availability(2, cooldown + 1), 0.5);
+        // Naive modes have no breakers: the call is a no-op.
+        let mut naive = Acquisition::with_mode(AcquisitionMode::AbortOnFailure);
+        naive.record_pipeline_failure(1);
+        assert_eq!(naive.availability(1, 0), 1.0);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`planner`] — derives the concrete plan from the user context;
 //! * [`wrangler`] — the [`wrangler::Wrangler`] session: add sources,
 //!   `wrangle()`, give feedback, re-wrangle incrementally;
+//! * [`contain`] — stage-level fault containment: poison-payload
+//!   quarantine, per-stage budgets and panic isolation, so a source that
+//!   goes bad *mid-pipeline* degrades the pass instead of killing it;
 //! * [`baseline`] — the manually specified ETL comparator with effort
 //!   accounting (what §1 argues cannot scale);
 //! * [`eval`] — ground-truth scoring against the synthetic fleet, used by
@@ -21,6 +24,7 @@
 pub mod acquire;
 pub mod active;
 pub mod baseline;
+pub mod contain;
 pub mod eval;
 pub mod planner;
 pub mod provenance;
@@ -33,6 +37,10 @@ pub use acquire::{
     RetryPolicy,
 };
 pub use active::suggest_feedback_targets;
+pub use contain::{
+    ChaosPolicy, ContainMode, ContainPolicy, ContainmentReport, QuarantineEvent, Stage,
+    StageTallies,
+};
 pub use planner::Plan;
 pub use provenance::{acquisition_table, lint_table, metrics_table, provenance_table};
 pub use uncertain::UncertainView;

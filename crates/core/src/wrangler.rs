@@ -28,6 +28,10 @@ use wrangler_table::{DataType, Schema, Table, TableError, Value};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
 use crate::acquire::{Acquisition, AcquisitionSummary};
+use crate::contain::{
+    catch_quiet, poison_reason, ContainMode, ContainPolicy, ContainmentReport, Guarded, Stage,
+    StageGuard,
+};
 use crate::planner::{Plan, SelectionStrategy};
 use crate::working::{Artifact, PairScoreCache, WorkingData};
 
@@ -64,6 +68,12 @@ struct WrangleCache {
     selected: Vec<SourceId>,
 }
 
+/// Output of the ER section of a wrangle (see [`Wrangler::er_stage`]).
+struct ErStageOutcome {
+    clusters: Vec<Vec<usize>>,
+    row_entity: Vec<usize>,
+}
+
 /// The result of a wrangle.
 #[derive(Debug, Clone)]
 pub struct WrangleOutcome {
@@ -98,6 +108,10 @@ pub struct WrangleOutcome {
     /// gauges aggregated over the session so far. Empty under
     /// [`ObsMode::Off`].
     pub metrics: MetricsReport,
+    /// What stage-level containment did during this pass: sources
+    /// quarantined mid-pipeline, rows dropped, budgets hit, panics caught.
+    /// Clean (empty) when nothing went wrong past acquisition.
+    pub containment: ContainmentReport,
 }
 
 /// A wrangling session: context + sources + working data + feedback loop.
@@ -117,6 +131,11 @@ pub struct Wrangler {
     /// The resilient acquisition engine: retry/backoff policy, per-source
     /// circuit breakers, and the failure-handling mode.
     pub acquisition: Acquisition,
+    /// Stage-level fault containment: per-stage budgets, poison scanning,
+    /// panic isolation, and the quarantine-vs-abort mode. Default
+    /// [`ContainMode::Contain`] — a source that goes bad *mid-pipeline*
+    /// degrades the pass instead of killing it.
+    pub contain: ContainPolicy,
     /// The session's telemetry collector: hierarchical stage spans over the
     /// monotonic clock plus deterministic counters/gauges (see
     /// [`wrangler_obs`]). On by default; E13 puts the overhead under 5% of
@@ -147,6 +166,8 @@ pub struct Wrangler {
     /// Findings of the last pre-flight pass, labelled by origin (`"plan"` or
     /// `"src{i}"`), kept for provenance export.
     last_lint: Vec<(String, LintReport)>,
+    /// Containment report of the last full wrangle.
+    last_containment: ContainmentReport,
 }
 
 impl Wrangler {
@@ -163,6 +184,7 @@ impl Wrangler {
             working: WorkingData::new(),
             routing: RoutingMode::Shared,
             acquisition: Acquisition::default(),
+            contain: ContainPolicy::default(),
             obs: Telemetry::default(),
             target,
             target_sample,
@@ -180,7 +202,24 @@ impl Wrangler {
             confirmations: HashMap::new(), // hash-ok: see field declaration
             lint_gate: GateMode::default(),
             last_lint: Vec::new(),
+            last_containment: ContainmentReport::default(),
         }
+    }
+
+    /// Replace the stage-level containment policy (default:
+    /// [`ContainPolicy::contain`]). [`ContainPolicy::abort`] turns the first
+    /// mid-pipeline fault into a structured error (the E15 baseline);
+    /// [`ContainPolicy::off`] disables scanning entirely (the overhead
+    /// baseline).
+    pub fn with_contain_policy(mut self, policy: ContainPolicy) -> Wrangler {
+        self.contain = policy;
+        self
+    }
+
+    /// The containment report of the last full wrangle: which sources were
+    /// quarantined mid-pipeline, where, and why.
+    pub fn containment_report(&self) -> &ContainmentReport {
+        &self.last_containment
     }
 
     /// Force a fusion strategy regardless of the plan (ablation harness).
@@ -391,9 +430,47 @@ impl Wrangler {
         out
     }
 
-    /// Full wrangle: select → map → resolve → fuse → gate → report.
+    /// Full wrangle: select → map → resolve → fuse → gate → report. Every
+    /// stage past acquisition runs under the session's [`ContainPolicy`]:
+    /// a source whose payload errors, panics, or blows a budget
+    /// mid-pipeline is quarantined and the pass completes on survivors
+    /// (mirroring acquisition degradation); the decisions land in
+    /// [`WrangleOutcome::containment`] and the `contain.<stage>.*` counters.
     pub fn wrangle(&mut self) -> wrangler_table::Result<WrangleOutcome> {
+        let mut creport = ContainmentReport::default();
+        let mut out = self.wrangle_contained(&mut creport);
+        creport.emit(&mut self.obs);
+        if let Ok(o) = &mut out {
+            o.containment = creport.clone();
+            // Re-snapshot: the emit above added the contain.* counters.
+            o.metrics = self.obs.report();
+        }
+        self.last_containment = creport;
+        out
+    }
+
+    /// Mark source `i` quarantined mid-pipeline: discount its trust (same
+    /// soft evidence as an acquisition skip), trip its breaker so the next
+    /// acquisition pass sees it unavailable until the cooldown probes it,
+    /// and invalidate its cached artifacts so a later (possibly clean)
+    /// delivery is remapped from scratch.
+    fn discount_quarantined(&mut self, i: usize) {
+        if let Some(state) = self.states.get_mut(i) {
+            state
+                .trust
+                .update(&Evidence::vote(EvidenceKind::Component, false, 0.8).discounted(0.9));
+        }
+        self.acquisition.record_pipeline_failure(i);
+        self.working.invalidate(Artifact::Mapping(i));
+        self.working.invalidate(Artifact::MappedTable(i));
+    }
+
+    fn wrangle_contained(
+        &mut self,
+        creport: &mut ContainmentReport,
+    ) -> wrangler_table::Result<WrangleOutcome> {
         let plan = self.plan();
+        let policy = self.contain.clone();
         // A pass that aborted with `?` leaves spans open; start clean. An
         // early error return below simply leaves this pass's spans
         // unrecorded — counters recorded up to the failure point persist.
@@ -466,7 +543,7 @@ impl Wrangler {
                 reasons.join("; ")
             )));
         }
-        let selected = survivors;
+        let mut selected = survivors;
         // Degraded payloads are transient: remap them from this delivery and
         // invalidate the cached artifacts so a later (possibly clean)
         // acquisition remaps again instead of reusing stale noise.
@@ -496,6 +573,7 @@ impl Wrangler {
                 self.states[i].mapping.is_none() || self.working.is_dirty(Artifact::Mapping(i))
             })
             .collect();
+        let mut gen_removed: Vec<usize> = Vec::new();
         if !need_mapping.is_empty() {
             let target = &self.target;
             let sample = &self.target_sample;
@@ -505,7 +583,7 @@ impl Wrangler {
             // Resolve every input table before fanning out: workers then hold
             // plain references, and a stale id surfaces as a structured error
             // here instead of a panic inside a worker thread.
-            let inputs: Vec<(usize, &Table)> = need_mapping
+            let resolved: Vec<(usize, &Table)> = need_mapping
                 .iter()
                 .map(|&i| {
                     let table = match degraded_tables.get(&i) {
@@ -522,14 +600,47 @@ impl Wrangler {
                     Ok((i, table))
                 })
                 .collect::<wrangler_table::Result<_>>()?;
+            // Alignment budget: schema matching is quadratic-ish in cells,
+            // so a pathologically oversized payload is ejected *before* it
+            // can monopolize the pool — the logical-clock deadline for the
+            // most expensive stage. Chaos rolls happen here too, on the
+            // main thread, so worker count never changes which sources are
+            // hit.
+            let mut guard = StageGuard::new(Stage::MapGenerate, &policy, creport);
+            let mut inputs: Vec<(usize, &Table, bool)> = Vec::with_capacity(resolved.len());
+            for (i, table) in resolved {
+                let id = SourceId(i as u32);
+                let cells = table.num_rows().saturating_mul(table.num_columns());
+                if policy.scans_enabled() && cells > policy.max_align_cells {
+                    if let Some(err) = guard.deadline_excess(id, "alignment budget", 0) {
+                        return Err(err);
+                    }
+                    guard.flag(
+                        id,
+                        &format!(
+                            "alignment budget exceeded ({cells} cells > {})",
+                            policy.max_align_cells
+                        ),
+                    );
+                    gen_removed.push(i);
+                    continue;
+                }
+                let chaos_hit = !policy.is_off()
+                    && policy
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|c| c.should_panic(Stage::MapGenerate, id));
+                inputs.push((i, table, chaos_hit));
+            }
             let timed = self.obs.is_on();
+            type GenItem = (usize, Result<Mapping, String>);
             type WorkerStats = Vec<(u64, u128)>;
-            let (generated, worker_stats): (Vec<(usize, Mapping)>, WorkerStats) =
+            let (generated, worker_stats): (Vec<GenItem>, WorkerStats) =
                 std::thread::scope(|scope| {
                     let workers = std::thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(4)
-                        .min(inputs.len());
+                        .min(inputs.len().max(1));
                     let inputs = &inputs;
                     // Strided pickup: worker w takes items w, w+workers,
                     // w+2·workers, … Chunking by ⌈len/workers⌉ can leave
@@ -541,21 +652,27 @@ impl Wrangler {
                         .map(|w| {
                             scope.spawn(move || {
                                 let started = timed.then(std::time::Instant::now);
-                                let out: Vec<(usize, Mapping)> = inputs
+                                // Each item runs under its own catch: one
+                                // poisonous source quarantines itself, not
+                                // its whole worker's chunk.
+                                let out: Vec<GenItem> = inputs
                                     .iter()
                                     .skip(w)
                                     .step_by(workers)
-                                    .map(|&(i, table)| {
-                                        (
-                                            i,
+                                    .map(|&(i, table, chaos_hit)| {
+                                        let res = catch_quiet(|| {
+                                            if chaos_hit {
+                                                panic!("chaos: injected map_generate panic"); // lint-allow: deterministic chaos injection, caught one line up
+                                            }
                                             generate_mapping(
                                                 table,
                                                 target,
                                                 sample,
                                                 Some(ontology),
                                                 match_cfg,
-                                            ),
-                                        )
+                                            )
+                                        });
+                                        (i, res)
                                     })
                                     .collect();
                                 let busy = started.map_or(0, |t| t.elapsed().as_nanos());
@@ -566,8 +683,9 @@ impl Wrangler {
                     let mut out = Vec::new();
                     let mut stats = WorkerStats::new();
                     for h in handles {
-                        // A panicking worker becomes a structured error for
-                        // the whole wrangle, not a cascading panic.
+                        // Backstop: the per-item catch above means a worker
+                        // thread itself can no longer die mid-chunk, but if
+                        // it somehow does, fail structured, not cascading.
                         let (chunk, busy) = h.join().map_err(|_| {
                             TableError::Unavailable("schema-matching worker panicked".into())
                         })?;
@@ -580,12 +698,51 @@ impl Wrangler {
                 self.obs.count(&format!("map.worker{w}.items"), *items);
                 self.obs.record_nanos(&format!("worker{w}"), *busy, 1);
             }
-            self.obs.count("map.generated", generated.len() as u64);
-            for (i, mapping) in generated {
-                self.states[i].mapping = Some(mapping);
-                self.states[i].mapped = None;
-                self.working.work.mappings_generated += 1;
-                self.working.mark_clean(Artifact::Mapping(i));
+            let mut generated_ok = 0u64;
+            for (i, res) in generated {
+                match res {
+                    Ok(mapping) => {
+                        generated_ok += 1;
+                        self.states[i].mapping = Some(mapping);
+                        self.states[i].mapped = None;
+                        self.working.work.mappings_generated += 1;
+                        self.working.mark_clean(Artifact::Mapping(i));
+                    }
+                    Err(msg) => {
+                        // The panicking source is *identified* and
+                        // quarantined; survivors proceed (satellite fix for
+                        // the old opaque all-or-nothing worker error).
+                        creport.caught_panic(Stage::MapGenerate);
+                        match policy.mode {
+                            ContainMode::Contain => {
+                                creport.record_quarantine(
+                                    SourceId(i as u32),
+                                    Stage::MapGenerate,
+                                    format!("panicked: {msg}"),
+                                );
+                                gen_removed.push(i);
+                            }
+                            ContainMode::Abort | ContainMode::Off => {
+                                return Err(TableError::Unavailable(format!(
+                                    "src{i}: schema-matching worker panicked at map_generate: {msg}"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            self.obs.count("map.generated", generated_ok);
+        }
+        if !gen_removed.is_empty() {
+            selected.retain(|id| !gen_removed.contains(&(id.0 as usize)));
+            for i in gen_removed {
+                self.discount_quarantined(i);
+            }
+            if selected.is_empty() {
+                self.obs.end();
+                return Err(TableError::Unavailable(
+                    "all sources quarantined at map_generate; no survivors".into(),
+                ));
             }
         }
         self.obs.end();
@@ -601,6 +758,7 @@ impl Wrangler {
             if !audit.is_empty() {
                 self.last_lint.push(("plan".to_string(), audit));
             }
+            let mut pf_removed: Vec<usize> = Vec::new();
             for id in &selected {
                 let i = id.0 as usize;
                 let table = match degraded_tables.get(&i) {
@@ -619,10 +777,37 @@ impl Wrangler {
                     .ok_or_else(|| TableError::Invalid(format!("{id}: no mapping available")))?;
                 let report = wrangler_lint::check_mapping(mapping, table.schema());
                 if !report.is_empty() {
+                    // Opt-in containment at the gate: quarantine the one
+                    // source whose artifact would be denied instead of
+                    // refusing the whole wrangle. Findings stay recorded.
+                    if policy.quarantine_preflight
+                        && policy.mode == ContainMode::Contain
+                        && report.blocks(self.lint_gate)
+                    {
+                        creport.record_quarantine(
+                            *id,
+                            Stage::Preflight,
+                            "pre-flight lint blocked this source's mapping",
+                        );
+                        pf_removed.push(i);
+                    }
                     self.last_lint.push((format!("src{i}"), report));
                 }
             }
-            let merged = self.lint_report();
+            // The gate decision covers the plan plus *surviving* sources;
+            // quarantined sources keep their findings in `lint_findings`
+            // but no longer block the pass.
+            let mut merged = LintReport::new();
+            for (origin, r) in &self.last_lint {
+                let quarantined = origin
+                    .strip_prefix("src")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .is_some_and(|i| pf_removed.contains(&i));
+                if !quarantined {
+                    merged.merge(r.clone());
+                }
+            }
+            merged.canonicalize();
             self.obs
                 .count("lint.findings", merged.diagnostics().len() as u64);
             if merged.blocks(self.lint_gate) {
@@ -637,13 +822,27 @@ impl Wrangler {
                     merged.summary()
                 )));
             }
+            if !pf_removed.is_empty() {
+                selected.retain(|id| !pf_removed.contains(&(id.0 as usize)));
+                for i in pf_removed {
+                    self.discount_quarantined(i);
+                }
+                if selected.is_empty() {
+                    self.obs.end();
+                    return Err(TableError::Unavailable(
+                        "all sources quarantined at preflight; no survivors".into(),
+                    ));
+                }
+            }
         }
         self.obs.end();
         self.obs.begin("map_apply");
+        let mut apply_removed: Vec<usize> = Vec::new();
         {
             let registry = &self.registry;
             let states = &mut self.states;
             let working = &mut self.working;
+            let mut guard = StageGuard::new(Stage::MapApply, &policy, creport);
             for id in &selected {
                 let i = id.0 as usize;
                 if states[i].mapped.is_none() || working.is_dirty(Artifact::MappedTable(i)) {
@@ -658,32 +857,125 @@ impl Wrangler {
                                 .table
                         }
                     };
-                    let mapped = {
-                        let mapping = states[i].mapping.as_ref().ok_or_else(|| {
-                            TableError::Invalid(format!("{id}: no mapping available"))
-                        })?;
-                        mapping.apply(table)?
+                    let mapping = states[i]
+                        .mapping
+                        .as_ref()
+                        .ok_or_else(|| TableError::Invalid(format!("{id}: no mapping available")))?;
+                    // A mapping that errors against its own payload (e.g. an
+                    // out-of-range binding, or a schema that drifted after
+                    // the mapping was generated) condemns this source only.
+                    let mut mapped = match guard.run(*id, || mapping.apply(table)) {
+                        Guarded::Ok(m) => m,
+                        Guarded::Quarantined => {
+                            apply_removed.push(i);
+                            continue;
+                        }
+                        Guarded::Fatal(e) => return Err(e),
                     };
+                    // Row budget: the logical deadline for an unbounded
+                    // feed. Deterministic prefix keep.
+                    if policy.scans_enabled() && mapped.num_rows() > policy.max_rows_per_source {
+                        let excess = (mapped.num_rows() - policy.max_rows_per_source) as u64;
+                        if let Some(err) = guard.deadline_excess(*id, "row budget", excess) {
+                            return Err(err);
+                        }
+                        let keep = policy.max_rows_per_source;
+                        mapped = mapped.retain_rows(|r| r < keep);
+                    }
                     states[i].mapped = Some(mapped);
                     working.work.tables_mapped += 1;
                     working.mark_clean(Artifact::MappedTable(i));
                 }
             }
         }
+        if !apply_removed.is_empty() {
+            selected.retain(|id| !apply_removed.contains(&(id.0 as usize)));
+            for i in apply_removed {
+                self.discount_quarantined(i);
+            }
+            if selected.is_empty() {
+                self.obs.end();
+                return Err(TableError::Unavailable(
+                    "all sources quarantined at map_apply; no survivors".into(),
+                ));
+            }
+        }
         self.obs.count("map.applied", selected.len() as u64);
         self.obs.end();
 
-        // 4. Union with provenance.
+        // 4. Union with provenance — and the poison firewall: every row is
+        // scanned here, the last point where damage is still attributable
+        // to one source, before rows from different sources interleave in
+        // ER and fusion.
         self.obs.begin("union");
         let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
-        for id in &selected {
-            let i = id.0 as usize;
-            let mapped = self.states[i]
-                .mapped
-                .as_ref()
-                .ok_or_else(|| TableError::Invalid(format!("{id}: not mapped")))?;
-            for row in mapped.iter_rows() {
-                union.push((i, row));
+        let mut union_removed: Vec<usize> = Vec::new();
+        {
+            let states = &self.states;
+            let mut guard = StageGuard::new(Stage::Union, &policy, creport);
+            for id in &selected {
+                let i = id.0 as usize;
+                let mapped = states[i]
+                    .mapped
+                    .as_ref()
+                    .ok_or_else(|| TableError::Invalid(format!("{id}: not mapped")))?;
+                let mut poison = 0u64;
+                let abort_scan = policy.mode != ContainMode::Contain;
+                let rows = guard.run(*id, || {
+                    let mut out: Vec<(usize, Vec<Value>)> = Vec::with_capacity(mapped.num_rows());
+                    for row in mapped.iter_rows() {
+                        if policy.scans_enabled() {
+                            if let Some(reason) = poison_reason(&row, &policy) {
+                                if abort_scan {
+                                    return Err(TableError::Unavailable(format!(
+                                        "src{i}: {reason}"
+                                    )));
+                                }
+                                poison += 1;
+                                continue;
+                            }
+                        }
+                        out.push((i, row));
+                    }
+                    Ok(out)
+                });
+                match rows {
+                    Guarded::Ok(rows) => {
+                        if poison > 0 {
+                            guard.report_mut().drop_rows(Stage::Union, poison);
+                            if poison as usize >= policy.poison_row_threshold {
+                                // Repeated poison is a condemned feed, not
+                                // line noise: eject the source entirely.
+                                guard.flag(
+                                    *id,
+                                    &format!(
+                                        "{poison} poison rows (threshold {})",
+                                        policy.poison_row_threshold
+                                    ),
+                                );
+                                union_removed.push(i);
+                                continue;
+                            }
+                        }
+                        union.extend(rows);
+                    }
+                    Guarded::Quarantined => {
+                        union_removed.push(i);
+                    }
+                    Guarded::Fatal(e) => return Err(e),
+                }
+            }
+        }
+        if !union_removed.is_empty() {
+            selected.retain(|id| !union_removed.contains(&(id.0 as usize)));
+            for i in union_removed {
+                self.discount_quarantined(i);
+            }
+            if selected.is_empty() {
+                self.obs.end();
+                return Err(TableError::Unavailable(
+                    "all sources quarantined at union; no survivors".into(),
+                ));
             }
         }
         self.obs.count("union.rows", union.len() as u64);
@@ -698,14 +990,164 @@ impl Wrangler {
         };
         self.obs.end();
         self.obs.begin("er");
+        // ER has no per-source partition (rows from every source interleave
+        // in the candidate pairs), so a panic here cannot be pinned on one
+        // source and quarantined — but it can still be *caught* and turned
+        // into a structured error instead of unwinding through the session.
+        let er = if policy.is_off() {
+            self.er_stage(&union_table)?
+        } else {
+            match catch_quiet(|| self.er_stage(&union_table)) {
+                Ok(r) => r?,
+                Err(msg) => {
+                    creport.caught_panic(Stage::Er);
+                    self.obs.end();
+                    return Err(TableError::Unavailable(format!(
+                        "er stage panicked: {msg}"
+                    )));
+                }
+            }
+        };
+        let ErStageOutcome {
+            clusters,
+            row_entity,
+        } = er;
+        self.obs.end();
+
+        // 6. Claims + trust. Fuse-stage chaos rolls first: a source whose
+        // partition "panics" here is quarantined before its claims enter
+        // the claim set, so its values cannot influence fusion.
+        self.obs.begin("fuse");
+        let mut fuse_removed: Vec<usize> = Vec::new();
+        {
+            let mut guard = StageGuard::new(Stage::Fuse, &policy, creport);
+            for id in &selected {
+                match guard.run(*id, || Ok(())) {
+                    Guarded::Ok(()) => {}
+                    Guarded::Quarantined => fuse_removed.push(id.0 as usize),
+                    Guarded::Fatal(e) => return Err(e),
+                }
+            }
+        }
+        if !fuse_removed.is_empty() {
+            selected.retain(|id| !fuse_removed.contains(&(id.0 as usize)));
+            if selected.is_empty() {
+                for i in fuse_removed {
+                    self.discount_quarantined(i);
+                }
+                self.obs.end();
+                return Err(TableError::Unavailable(
+                    "all sources quarantined at fuse; no survivors".into(),
+                ));
+            }
+        }
+        let mut claims = ClaimSet::new(self.registry.len());
+        claims.rel_tol = plan.fusion_tolerance;
+        for (r, (src, row)) in union.iter().enumerate() {
+            if fuse_removed.contains(src) {
+                continue;
+            }
+            for (a, v) in row.iter().enumerate() {
+                claims.add(row_entity[r], a, v.clone(), *src);
+            }
+        }
+        for &i in &fuse_removed {
+            self.discount_quarantined(i);
+        }
+        // Master-data anchors for the attributes the catalog knows.
+        let anchors = self.master_anchors(&claims, &clusters, &union);
+        let tf = truthfinder(&claims, &TruthFinderConfig::default(), &anchors);
+        // Blend data-driven trust with feedback-driven belief trust.
+        let trust: Vec<f64> = (0..self.registry.len())
+            .map(|i| 0.5 * tf.trust[i] + 0.5 * self.states[i].trust.probability())
+            .collect();
+        let age: Vec<u64> = self
+            .registry
+            .iter()
+            .map(|s| self.now.saturating_sub(s.meta.last_updated))
+            .collect();
+        let source_ctx = SourceContext { trust, age };
+        self.obs.count("fuse.claims", claims.claims.len() as u64);
+        self.obs.count("fuse.anchors", anchors.len() as u64);
+
+        // 7. Fuse every slot (honouring value-level feedback constraints).
+        // hash-ok: populated per sorted slot, consumed via get()
+        let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
+        let mut slots_fused = 0u64;
+        for (e, a) in claims.slots() {
+            // Per-slot isolation: a fusion strategy that panics on one
+            // pathological slot costs that slot (delivered as Null), not
+            // the pass.
+            let slot_value = if policy.is_off() {
+                self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx)
+            } else {
+                match catch_quiet(|| self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx)) {
+                    Ok(v) => v,
+                    Err(msg) => {
+                        creport.caught_panic(Stage::Fuse);
+                        if policy.mode != ContainMode::Contain {
+                            self.obs.end();
+                            return Err(TableError::Unavailable(format!(
+                                "fuse slot ({e},{a}) panicked: {msg}"
+                            )));
+                        }
+                        None
+                    }
+                }
+            };
+            if let Some(f) = slot_value {
+                fused.insert((e, a), f);
+            }
+            slots_fused += 1;
+            self.working.work.slots_fused += 1;
+            self.working.mark_clean(Artifact::FusedSlot(e, a));
+        }
+        self.obs.count("fuse.slots", slots_fused);
+        self.obs.end();
+
+        self.cache = Some(WrangleCache {
+            union,
+            row_entity,
+            entities: clusters.len(),
+            claims,
+            source_ctx,
+            fused,
+            selected: selected.clone(),
+        });
+        self.working.mark_clean(Artifact::Result);
+        let mut outcome = if policy.is_off() {
+            self.assemble(&plan)?
+        } else {
+            // Assembly panics (like ER panics) have no per-source partition
+            // to quarantine; they become structured errors.
+            match catch_quiet(|| self.assemble(&plan)) {
+                Ok(r) => r?,
+                Err(msg) => {
+                    creport.caught_panic(Stage::Assemble);
+                    return Err(TableError::Unavailable(format!(
+                        "assemble stage panicked: {msg}"
+                    )));
+                }
+            }
+        };
+        self.obs.end(); // close the "wrangle" root span
+        outcome.metrics = self.obs.report();
+        Ok(outcome)
+    }
+
+    /// The ER section of a wrangle: candidate generation (blocked on name +
+    /// key), kernel scoring through the content-keyed pair cache, match
+    /// filtering and clustering. Factored out so `wrangle_contained` can run
+    /// it under panic isolation.
+    fn er_stage(&mut self, union_table: &Table) -> wrangler_table::Result<ErStageOutcome> {
         // Block on the name-ish column AND the key column: rows whose name is
         // null or typo-prefixed still meet their duplicates through the key.
         let block_col = blocking_column(&self.target);
         let key_col = self.target.fields()[0].name.clone();
-        let mut candidates = candidates_blocked(&union_table, &block_col)?;
+        let mut candidates = candidates_blocked(union_table, &block_col)?;
         if key_col != block_col {
             candidates.extend(wrangler_resolve::candidates_blocked_exact(
-                &union_table,
+                union_table,
                 &key_col,
             )?);
             candidates.sort_unstable();
@@ -719,7 +1161,7 @@ impl Wrangler {
         // worker pool — the rest come from the content-keyed pair-score
         // cache. Clusters and scores are byte-identical to the serial path
         // for any worker count.
-        let kernel = ErKernel::compile(&union_table, &self.er_cfg)?;
+        let kernel = ErKernel::compile(union_table, &self.er_cfg)?;
         let keys = kernel.content_keys();
         let mut scores = vec![0.0f64; candidates.len()];
         let mut miss_pairs: Vec<(usize, usize)> = Vec::new();
@@ -765,62 +1207,10 @@ impl Wrangler {
         self.obs.count("er.candidates", candidates.len() as u64);
         self.obs.count("er.match_pairs", pairs.len() as u64);
         self.obs.count("er.entities", clusters.len() as u64);
-        self.obs.end();
-
-        // 6. Claims + trust.
-        self.obs.begin("fuse");
-        let mut claims = ClaimSet::new(self.registry.len());
-        claims.rel_tol = plan.fusion_tolerance;
-        for (r, (src, row)) in union.iter().enumerate() {
-            for (a, v) in row.iter().enumerate() {
-                claims.add(row_entity[r], a, v.clone(), *src);
-            }
-        }
-        // Master-data anchors for the attributes the catalog knows.
-        let anchors = self.master_anchors(&claims, &clusters, &union);
-        let tf = truthfinder(&claims, &TruthFinderConfig::default(), &anchors);
-        // Blend data-driven trust with feedback-driven belief trust.
-        let trust: Vec<f64> = (0..self.registry.len())
-            .map(|i| 0.5 * tf.trust[i] + 0.5 * self.states[i].trust.probability())
-            .collect();
-        let age: Vec<u64> = self
-            .registry
-            .iter()
-            .map(|s| self.now.saturating_sub(s.meta.last_updated))
-            .collect();
-        let source_ctx = SourceContext { trust, age };
-        self.obs.count("fuse.claims", claims.claims.len() as u64);
-        self.obs.count("fuse.anchors", anchors.len() as u64);
-
-        // 7. Fuse every slot (honouring value-level feedback constraints).
-        // hash-ok: populated per sorted slot, consumed via get()
-        let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
-        let mut slots_fused = 0u64;
-        for (e, a) in claims.slots() {
-            if let Some(f) = self.fuse_slot(&claims, e, a, plan.fusion, &source_ctx) {
-                fused.insert((e, a), f);
-            }
-            slots_fused += 1;
-            self.working.work.slots_fused += 1;
-            self.working.mark_clean(Artifact::FusedSlot(e, a));
-        }
-        self.obs.count("fuse.slots", slots_fused);
-        self.obs.end();
-
-        self.cache = Some(WrangleCache {
-            union,
+        Ok(ErStageOutcome {
+            clusters,
             row_entity,
-            entities: clusters.len(),
-            claims,
-            source_ctx,
-            fused,
-            selected: selected.clone(),
-        });
-        self.working.mark_clean(Artifact::Result);
-        let mut outcome = self.assemble(&plan)?;
-        self.obs.end(); // close the "wrangle" root span
-        outcome.metrics = self.obs.report();
-        Ok(outcome)
+        })
     }
 
     /// Incrementally re-wrangle after feedback: re-fuse only dirty slots with
@@ -873,6 +1263,9 @@ impl Wrangler {
         let mut outcome = self.assemble(&plan)?;
         self.obs.end(); // close the "rewrangle" root span
         outcome.metrics = self.obs.report();
+        // An incremental pass re-fuses cached artifacts; the containment
+        // picture is still the one from the last full wrangle.
+        outcome.containment = self.last_containment.clone();
         Ok(outcome)
     }
 
@@ -1077,6 +1470,7 @@ impl Wrangler {
             acquisition_ticks: self.last_acquisition.ticks,
             lint: self.lint_report(),
             metrics: MetricsReport::default(),
+            containment: ContainmentReport::default(),
         })
     }
 
@@ -1920,7 +2314,7 @@ mod tests {
     }
 
     #[test]
-    fn warn_gate_records_findings_but_proceeds_to_runtime_error() {
+    fn warn_gate_records_findings_and_containment_quarantines_the_bad_source() {
         let fleet = small_fleet();
         let mut w =
             session(&fleet, UserContext::balanced("t")).with_lint_gate(wrangler_lint::GateMode::Warn);
@@ -1933,10 +2327,159 @@ mod tests {
             .find(|b| b.is_some())
             .expect("some binding") = Some(999);
         assert!(w.override_mapping(victim, bad));
+        // Under the default Contain policy the defect no longer kills the
+        // pass: the source erroring at map_apply is quarantined and the run
+        // completes on survivors.
+        let out = w.wrangle().unwrap();
+        let q: Vec<_> = out
+            .containment
+            .quarantines
+            .iter()
+            .filter(|e| e.source == victim && e.stage == Stage::MapApply)
+            .collect();
+        assert_eq!(q.len(), 1, "victim quarantined exactly once: {out:?}");
+        assert!(q[0].reason.contains("out of bounds"), "{}", q[0].reason);
+        assert!(!out.selected_sources.contains(&victim));
+        assert!(!w.lint_report().is_clean(), "findings still recorded");
+    }
+
+    #[test]
+    fn warn_gate_abort_policy_restores_runtime_error() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_lint_gate(wrangler_lint::GateMode::Warn)
+            .with_contain_policy(ContainPolicy::abort());
+        let out = w.wrangle().unwrap();
+        let victim = out.selected_sources[0];
+        let mut bad = w.mapping_of(victim).expect("mapping generated").clone();
+        *bad
+            .bindings
+            .iter_mut()
+            .find(|b| b.is_some())
+            .expect("some binding") = Some(999);
+        assert!(w.override_mapping(victim, bad));
+        // Abort mode reproduces the legacy behavior: the same defect
+        // surfaces as a runtime table error mid-run, not a lint block.
         let err = w.wrangle().unwrap_err();
-        // The same defect now surfaces as a runtime table error mid-run.
         assert!(!err.to_string().contains("pre-flight lint"), "{err}");
         assert!(!w.lint_report().is_clean(), "findings still recorded");
+    }
+
+    /// Regression for the opaque "schema-matching worker panicked" failure:
+    /// a panic inside one source's mapping generation must identify and
+    /// quarantine that source, and the pass must complete on survivors.
+    #[test]
+    fn map_generate_panic_quarantines_the_source_and_pass_completes() {
+        use crate::contain::ChaosPolicy;
+        let fleet = small_fleet();
+        // seed=2 rate=0.3 deterministically hits sources 3 and 5 at
+        // map_generate and no others.
+        let chaos = ChaosPolicy::new(0.3, 2).at_stage(Stage::MapGenerate);
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::contain().with_chaos(chaos));
+        let out = w.wrangle().unwrap();
+        let quarantined = out.containment.quarantined_sources();
+        assert_eq!(quarantined, vec![SourceId(3), SourceId(5)], "{out:?}");
+        for e in &out.containment.quarantines {
+            assert_eq!(e.stage, Stage::MapGenerate);
+            assert!(e.reason.contains("panicked"), "{}", e.reason);
+        }
+        let t = out.containment.tallies(Stage::MapGenerate);
+        assert_eq!(t.quarantined, 2);
+        assert_eq!(t.panics_caught, 2);
+        // Survivors complete the pass.
+        assert!(!out.selected_sources.is_empty());
+        assert!(!out.selected_sources.contains(&SourceId(3)));
+        assert!(!out.selected_sources.contains(&SourceId(5)));
+        assert!(out.entities > 0);
+        // Identical session, identical report — containment is deterministic.
+        let chaos2 = ChaosPolicy::new(0.3, 2).at_stage(Stage::MapGenerate);
+        let mut w2 = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::contain().with_chaos(chaos2));
+        let out2 = w2.wrangle().unwrap();
+        assert_eq!(out.containment.render(), out2.containment.render());
+    }
+
+    #[test]
+    fn map_generate_panic_in_abort_mode_names_the_source() {
+        use crate::contain::ChaosPolicy;
+        let fleet = small_fleet();
+        let chaos = ChaosPolicy::new(0.3, 2).at_stage(Stage::MapGenerate);
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::abort().with_chaos(chaos));
+        let err = w.wrangle().unwrap_err();
+        let msg = err.to_string();
+        // Not the old opaque message: the failing source is identified.
+        assert!(msg.contains("src"), "{msg}");
+        assert!(msg.contains("map_generate"), "{msg}");
+    }
+
+    /// A type-poisoned source is caught at the union firewall: its poison
+    /// rows are dropped, and past the threshold the whole source is ejected.
+    #[test]
+    fn type_poisoned_source_is_quarantined_at_union() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.set_fault_profile(SourceId(0), FaultProfile::TypePoison { cell_rate: 0.6 });
+        let out = w.wrangle().unwrap();
+        let q: Vec<_> = out
+            .containment
+            .quarantines
+            .iter()
+            .filter(|e| e.source == SourceId(0))
+            .collect();
+        assert_eq!(q.len(), 1, "{out:?}");
+        assert_eq!(q[0].stage, Stage::Union);
+        assert!(q[0].reason.contains("poison rows"), "{}", q[0].reason);
+        assert!(out.containment.tallies(Stage::Union).dropped_rows > 0);
+        assert!(!out.selected_sources.contains(&SourceId(0)));
+        assert!(out.entities > 0, "survivors still produce output");
+    }
+
+    /// Quarantine feeds the acquisition breaker: a source poisonous
+    /// mid-pipeline is discounted at the next acquisition, and recovers
+    /// through half-open once healed and past the cooldown.
+    #[test]
+    fn quarantine_trips_breaker_then_half_open_recovery_after_heal() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.set_fault_profile(SourceId(0), FaultProfile::NonFinite { cell_rate: 0.9 });
+        let out = w.wrangle().unwrap();
+        assert!(
+            out.containment.quarantined_sources().contains(&SourceId(0)),
+            "{out:?}"
+        );
+        // The pipeline failure tripped src0's breaker immediately.
+        assert_eq!(w.estimates()[0].availability, 0.0);
+        assert!(matches!(
+            w.acquisition.breaker_state(0),
+            Some(crate::acquire::BreakerState::Open { .. })
+        ));
+        // Heal the source and move well past the cooldown (the acquisition
+        // clock advanced during the first pass, so leave a margin): the
+        // breaker becomes half-open eligible.
+        w.set_fault_profile(SourceId(0), FaultProfile::Healthy);
+        let cooldown = w.acquisition.breaker_cfg.cooldown;
+        w.set_now(fleet.truth.now + 2 * cooldown);
+        assert_eq!(w.estimates()[0].availability, 0.5);
+        // A fresh pass completes; if selection re-admits the healed source
+        // (its trust was discounted by the quarantine, so it may not make
+        // the marginal-gain cut), it comes back clean.
+        w.working.invalidate(Artifact::Result);
+        w.cache = None;
+        let second = w.wrangle().unwrap();
+        assert!(second.entities > 0);
+        assert!(!second
+            .containment
+            .quarantined_sources()
+            .contains(&SourceId(0)));
+        if second.selected_sources.contains(&SourceId(0)) {
+            // The probe succeeded: the breaker is half-open or closed, never
+            // re-opened.
+            assert!(w.estimates()[0].availability >= 0.5);
+        }
     }
 
     #[test]

@@ -102,3 +102,123 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Stage-level containment: mid-pipeline fault mixes must never panic the
+// session, and the containment report must replay byte-identically.
+// ---------------------------------------------------------------------------
+
+use wrangler_context::{DataContext, Ontology, UserContext};
+use wrangler_core::acquire::{BreakerConfig, BreakerState, CircuitBreaker};
+use wrangler_core::{ChaosPolicy, ContainPolicy, Wrangler};
+use wrangler_table::{DataType, Schema, Table, Value};
+
+/// A ready-to-run session over a fresh small fleet (mirrors the harness in
+/// `wrangler-bench`, which this crate cannot depend on).
+fn contain_session(fleet: &wrangler_sources::SyntheticFleet) -> Wrangler {
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .expect("catalog keyed by sku");
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let schema = Schema::new(fields).expect("unique names");
+    let mut columns: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    columns.push(vec![Value::Null; catalog.num_rows()]);
+    let sample = Table::from_columns(schema, columns).expect("aligned");
+    let mut w = Wrangler::new(UserContext::balanced("p"), ctx, sample);
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wrangle_under_mid_pipeline_faults_never_panics(
+        fault_rate in 0.0f64..=0.6,
+        fault_seed in any::<u64>(),
+        chaos_rate in 0.0f64..=0.4,
+        chaos_seed in any::<u64>(),
+    ) {
+        let fleet = wrangler_sources::synthetic::generate_fleet(
+            &FleetConfig { num_products: 25, num_sources: 6, now: 10, ..FleetConfig::default() },
+            23,
+        );
+        let profiles = FaultConfig::with_rate(fault_rate, fault_seed)
+            .assign_payload(fleet.registry.len());
+        let run = || {
+            let mut w = contain_session(&fleet);
+            for (i, p) in profiles.iter().enumerate() {
+                w.set_fault_profile(SourceId(i as u32), *p);
+            }
+            w.contain = ContainPolicy::contain()
+                .with_chaos(ChaosPolicy::new(chaos_rate, chaos_seed));
+            // The property under test: this call must never panic, whatever
+            // mix of payload faults and injected stage panics it absorbs.
+            let result = w.wrangle();
+            let report = w.containment_report().render();
+            (result.map(|o| (o.entities, o.selected_sources)), report)
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        match &a {
+            Ok((entities, selected)) => {
+                // Ok means survivors produced output, and no quarantined
+                // source slipped back into the surviving set.
+                prop_assert!(*entities > 0 || selected.is_empty() || fault_rate > 0.0);
+            }
+            Err(e) => {
+                // Failures are structured table errors with a message, never
+                // a propagated panic.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+        // Byte-identical replay: same outcome, same containment report.
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_after_quarantine_trip(
+        threshold in 1u32..=6,
+        cooldown in 1u64..=48,
+        probes in 1u32..=4,
+        t0 in 0u64..1000,
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+            half_open_successes: probes,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        // A quarantine-induced trip records a full threshold of failures.
+        for _ in 0..threshold {
+            b.record_failure(t0);
+        }
+        prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+        // Blocked for the whole cooldown window...
+        prop_assert_eq!(b.availability(t0 + cooldown - 1), 0.0);
+        prop_assert!(!b.allow_request(t0 + cooldown - 1));
+        // ...then half-open eligible, and the probe is let through.
+        prop_assert_eq!(b.availability(t0 + cooldown), 0.5);
+        prop_assert!(b.allow_request(t0 + cooldown));
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        // One failure mid-probe re-opens immediately.
+        let mut relapse = b.clone();
+        relapse.record_failure(t0 + cooldown);
+        prop_assert!(matches!(relapse.state(), BreakerState::Open { .. }));
+        // Enough probe successes close the breaker for good.
+        for i in 0..probes {
+            prop_assert!(b.allow_request(t0 + cooldown + u64::from(i)));
+            b.record_success();
+        }
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        prop_assert_eq!(b.availability(t0 + cooldown + u64::from(probes)), 1.0);
+    }
+}

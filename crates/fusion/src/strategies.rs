@@ -101,7 +101,9 @@ pub fn fuse_attribute(
                 let decay = (-(ctx.age_of(source) as f64) / half_life.max(1e-9)).exp();
                 ctx.trust_of(source) * decay
             }
-            Strategy::Latest => unreachable!("handled above"),
+            // Latest returns early above; a unit weight keeps this closure
+            // total instead of panicking if that early return ever moves.
+            Strategy::Latest => 1.0,
         }
     };
     let classes = claims.agreement_classes(&slot);

@@ -21,7 +21,7 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wrangler_table::Table;
+use wrangler_table::{Field, Schema, Table, Value};
 
 use crate::registry::SourceId;
 use crate::synthetic::corrupt;
@@ -66,6 +66,39 @@ pub enum FaultProfile {
         max_per_window: u32,
         /// Window length in ticks.
         window: u64,
+    },
+    /// Answers promptly but the payload's schema has drifted: trailing
+    /// columns are gone and the last surviving column was renamed. The
+    /// acquisition layer never notices — the damage surfaces at schema
+    /// matching and mapping time (a *post-acquisition* fault).
+    SchemaDrift {
+        /// How many trailing columns the drifted payload lost.
+        drop: usize,
+    },
+    /// Answers promptly but some cells arrive as type-poisoned garbage
+    /// (control-byte-laced strings no downstream matcher should ingest).
+    TypePoison {
+        /// Per-cell poisoning probability, in \[0, 1\].
+        cell_rate: f64,
+    },
+    /// Answers promptly but inflates string cells into pathological
+    /// payloads (multi-kilobyte strings that blow up edit-distance ER).
+    PathologicalStrings {
+        /// Per-cell inflation probability, in \[0, 1\].
+        cell_rate: f64,
+        /// Length in bytes of an inflated cell.
+        len: usize,
+    },
+    /// Answers promptly but some numeric cells arrive as NaN or ±∞.
+    NonFinite {
+        /// Per-cell probability, in \[0, 1\].
+        cell_rate: f64,
+    },
+    /// Answers promptly but repeats its rows `factor` times — an unbounded
+    /// feed that exhausts downstream row budgets.
+    Oversized {
+        /// Payload size multiplier (≥ 1).
+        factor: u32,
     },
 }
 
@@ -155,6 +188,32 @@ pub enum Degradation {
         /// Number of cells corrupted.
         cells: usize,
     },
+    /// The payload's schema drifted: trailing columns dropped, last
+    /// survivor renamed.
+    SchemaDrifted {
+        /// Columns missing relative to the source's true schema.
+        dropped: usize,
+    },
+    /// Some cells arrived as control-byte-laced garbage.
+    TypePoisoned {
+        /// Number of poisoned cells.
+        cells: usize,
+    },
+    /// Some string cells arrived pathologically inflated.
+    Pathological {
+        /// Number of inflated cells.
+        cells: usize,
+    },
+    /// Some numeric cells arrived as NaN or ±∞.
+    NonFinite {
+        /// Number of non-finite cells.
+        cells: usize,
+    },
+    /// The payload arrived with its rows repeated.
+    Oversized {
+        /// Rows delivered (a multiple of the true row count).
+        rows: usize,
+    },
 }
 
 impl fmt::Display for Degradation {
@@ -164,6 +223,15 @@ impl fmt::Display for Degradation {
                 write!(f, "truncated to {kept}/{total} rows")
             }
             Degradation::CorruptCells { cells } => write!(f, "{cells} cells corrupted"),
+            Degradation::SchemaDrifted { dropped } => {
+                write!(f, "schema drifted ({dropped} columns lost)")
+            }
+            Degradation::TypePoisoned { cells } => write!(f, "{cells} cells type-poisoned"),
+            Degradation::Pathological { cells } => {
+                write!(f, "{cells} cells pathologically inflated")
+            }
+            Degradation::NonFinite { cells } => write!(f, "{cells} non-finite numeric cells"),
+            Degradation::Oversized { rows } => write!(f, "oversized payload ({rows} rows)"),
         }
     }
 }
@@ -227,6 +295,28 @@ impl FaultConfig {
             })
             .collect()
     }
+
+    /// Deterministically assign *post-acquisition* payload fault profiles to
+    /// `n` sources: every faulty source answers acquisition promptly but its
+    /// payload is poisoned in a way only the pipeline stages can detect.
+    /// Same nesting guarantee as [`FaultConfig::assign`]: a source faulty at
+    /// rate `r` keeps the identical profile at any rate `r' > r` under the
+    /// same seed. Independent stream from `assign` (different mix constant),
+    /// so acquisition-time and payload faults can be layered freely.
+    pub fn assign_payload(&self, n: usize) -> Vec<FaultProfile> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0x0fa1_7001, 0));
+        (0..n)
+            .map(|_| {
+                let roll: f64 = rng.gen();
+                let profile = random_payload_profile(&mut rng);
+                if roll < self.fault_rate {
+                    profile
+                } else {
+                    FaultProfile::Healthy
+                }
+            })
+            .collect()
+    }
 }
 
 impl Default for FaultConfig {
@@ -255,6 +345,27 @@ fn random_profile(rng: &mut StdRng) -> FaultProfile {
         _ => FaultProfile::RateLimited {
             max_per_window: rng.gen_range(1..4),
             window: rng.gen_range(4..12),
+        },
+    }
+}
+
+fn random_payload_profile(rng: &mut StdRng) -> FaultProfile {
+    match rng.gen_range(0..5) {
+        0 => FaultProfile::SchemaDrift {
+            drop: rng.gen_range(1..3),
+        },
+        1 => FaultProfile::TypePoison {
+            cell_rate: rng.gen_range(0.15..0.5),
+        },
+        2 => FaultProfile::PathologicalStrings {
+            cell_rate: rng.gen_range(0.1..0.4),
+            len: rng.gen_range(4096..16384),
+        },
+        3 => FaultProfile::NonFinite {
+            cell_rate: rng.gen_range(0.15..0.5),
+        },
+        _ => FaultProfile::Oversized {
+            factor: rng.gen_range(4..8),
         },
     }
 }
@@ -437,6 +548,134 @@ impl FaultLayer {
                     Ok(healthy)
                 }
             }
+            FaultProfile::SchemaDrift { drop } => {
+                let cols = table.num_columns();
+                let kept = cols.saturating_sub(drop).max(2).min(cols);
+                let mut fields: Vec<Field> = table.schema().fields()[..kept].to_vec();
+                if let Some(last) = fields.last_mut() {
+                    last.name = format!("{}_v2", last.name);
+                }
+                let schema = Schema::new(fields).unwrap_or_else(|_| {
+                    // A `_v2` collision in the source schema: deliver the
+                    // un-renamed column subset instead.
+                    Schema::new(table.schema().fields()[..kept].to_vec())
+                        .expect("prefix of unique names stays unique") // lint-allow: subset of a valid schema
+                });
+                let mut out = Table::empty(schema);
+                for r in 0..table.num_rows() {
+                    let mut row = table.row(r);
+                    row.truncate(kept);
+                    out.push_row(row).expect("row cut to schema arity"); // lint-allow: row truncated to arity one line up
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((
+                        Degradation::SchemaDrifted {
+                            dropped: cols - kept,
+                        },
+                        out,
+                    )),
+                })
+            }
+            FaultProfile::TypePoison { cell_rate } => {
+                let mut rng = StdRng::seed_from_u64(mix(self.seed, u64::from(id.0), now));
+                let mut out = Table::empty(table.schema().clone());
+                let mut cells = 0usize;
+                for r in 0..table.num_rows() {
+                    let row: Vec<_> = table
+                        .row(r)
+                        .into_iter()
+                        .map(|v| {
+                            if rng.gen_bool(cell_rate.clamp(0.0, 1.0)) {
+                                cells += 1;
+                                // Control-byte-framed garbage: exactly the
+                                // payload shape the union poison scan exists
+                                // to catch.
+                                Value::Str(format!("\u{1}x{:08x}\u{2}", rng.gen::<u32>()))
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
+                    out.push_row(row).expect("same arity"); // lint-allow: row built to this arity
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::TypePoisoned { cells }, out)),
+                })
+            }
+            FaultProfile::PathologicalStrings { cell_rate, len } => {
+                let mut rng = StdRng::seed_from_u64(mix(self.seed, u64::from(id.0), now));
+                let mut out = Table::empty(table.schema().clone());
+                let mut cells = 0usize;
+                for r in 0..table.num_rows() {
+                    let row: Vec<_> = table
+                        .row(r)
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Str(s) if rng.gen_bool(cell_rate.clamp(0.0, 1.0)) => {
+                                cells += 1;
+                                let unit = if s.is_empty() { "x" } else { s.as_str() };
+                                Value::Str(unit.repeat(len / unit.len().max(1) + 1))
+                            }
+                            other => other,
+                        })
+                        .collect();
+                    out.push_row(row).expect("same arity"); // lint-allow: row built to this arity
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::Pathological { cells }, out)),
+                })
+            }
+            FaultProfile::NonFinite { cell_rate } => {
+                let mut rng = StdRng::seed_from_u64(mix(self.seed, u64::from(id.0), now));
+                let mut out = Table::empty(table.schema().clone());
+                let mut cells = 0usize;
+                for r in 0..table.num_rows() {
+                    let row: Vec<_> = table
+                        .row(r)
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Float(_) | Value::Int(_)
+                                if rng.gen_bool(cell_rate.clamp(0.0, 1.0)) =>
+                            {
+                                cells += 1;
+                                Value::Float(match rng.gen_range(0..3) {
+                                    0 => f64::NAN,
+                                    1 => f64::INFINITY,
+                                    _ => f64::NEG_INFINITY,
+                                })
+                            }
+                            other => other,
+                        })
+                        .collect();
+                    out.push_row(row).expect("same arity"); // lint-allow: row built to this arity
+                }
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::NonFinite { cells }, out)),
+                })
+            }
+            FaultProfile::Oversized { factor } => {
+                let factor = factor.max(1) as usize;
+                let mut out = Table::empty(table.schema().clone());
+                for _ in 0..factor {
+                    for r in 0..table.num_rows() {
+                        out.push_row(table.row(r)).expect("same schema"); // lint-allow: row copied from a table with this schema
+                    }
+                }
+                let rows = out.num_rows();
+                Ok(SourceSnapshot {
+                    id,
+                    latency: self.base_latency,
+                    degraded: Some((Degradation::Oversized { rows }, out)),
+                })
+            }
         }
     }
 }
@@ -603,6 +842,134 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn schema_drift_drops_and_renames_columns() {
+        let l = layer(FaultProfile::SchemaDrift { drop: 1 });
+        let mut t = Table::empty(Schema::of_strs(&["sku", "price", "stock"]));
+        t.push_row(vec![
+            Value::Str("sku0".into()),
+            Value::Float(9.5),
+            Value::Int(3),
+        ])
+        .unwrap();
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        assert_eq!(d, Degradation::SchemaDrifted { dropped: 1 });
+        assert_eq!(payload.num_columns(), 2);
+        assert_eq!(payload.schema().names(), vec!["sku", "price_v2"]);
+        assert_eq!(payload.get(0, 1).unwrap(), &Value::Float(9.5));
+        // Never drifts below two columns.
+        let l = layer(FaultProfile::SchemaDrift { drop: 9 });
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (_, payload) = s.degraded.unwrap();
+        assert_eq!(payload.num_columns(), 2);
+    }
+
+    #[test]
+    fn type_poison_plants_control_bytes() {
+        let l = layer(FaultProfile::TypePoison { cell_rate: 0.5 });
+        let t = table(20);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        let cells = match d {
+            Degradation::TypePoisoned { cells } => cells,
+            other => panic!("unexpected degradation {other:?}"),
+        };
+        assert!(cells > 0);
+        let poisoned = payload
+            .iter_rows()
+            .flatten()
+            .filter(|v| {
+                v.as_str()
+                    .is_some_and(|s| s.chars().any(|c| c.is_control()))
+            })
+            .count();
+        assert_eq!(poisoned, cells);
+        // Deterministic per tick.
+        let s2 = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        assert_eq!(s2.degraded.unwrap().0, Degradation::TypePoisoned { cells });
+    }
+
+    #[test]
+    fn pathological_strings_inflate_past_len() {
+        let l = layer(FaultProfile::PathologicalStrings {
+            cell_rate: 0.9,
+            len: 512,
+        });
+        let t = table(10);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        assert!(matches!(d, Degradation::Pathological { cells } if cells > 0));
+        let max_len = payload
+            .iter_rows()
+            .flatten()
+            .filter_map(|v| v.as_str().map(str::len))
+            .max()
+            .unwrap();
+        assert!(max_len > 512, "inflated to {max_len}");
+    }
+
+    #[test]
+    fn non_finite_poisons_numeric_cells_only() {
+        let l = layer(FaultProfile::NonFinite { cell_rate: 0.9 });
+        let t = table(10);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        assert!(matches!(d, Degradation::NonFinite { cells } if cells > 0));
+        let bad = payload
+            .iter_rows()
+            .flatten()
+            .filter(|v| matches!(v, Value::Float(f) if !f.is_finite()))
+            .count();
+        assert!(bad > 0);
+        // String column untouched.
+        assert!(payload
+            .column_named("sku")
+            .unwrap()
+            .iter()
+            .all(|v| v.as_str().is_some()));
+    }
+
+    #[test]
+    fn oversized_repeats_rows() {
+        let l = layer(FaultProfile::Oversized { factor: 4 });
+        let t = table(5);
+        let s = l.attempt(SourceId(0), &t, 0, 8).unwrap();
+        let (d, payload) = s.degraded.unwrap();
+        assert_eq!(d, Degradation::Oversized { rows: 20 });
+        assert_eq!(payload.num_rows(), 20);
+        assert_eq!(payload.row(0), payload.row(5));
+    }
+
+    #[test]
+    fn payload_assignment_is_deterministic_nested_and_independent() {
+        let cfg = FaultConfig::with_rate(0.5, 42);
+        let a = cfg.assign_payload(100);
+        assert_eq!(a, cfg.assign_payload(100));
+        let faulty = a.iter().filter(|p| **p != FaultProfile::Healthy).count();
+        assert!((30..=70).contains(&faulty), "got {faulty} faulty of 100");
+        // Every faulty profile is a payload fault, not an acquisition fault.
+        assert!(a.iter().all(|p| matches!(
+            p,
+            FaultProfile::Healthy
+                | FaultProfile::SchemaDrift { .. }
+                | FaultProfile::TypePoison { .. }
+                | FaultProfile::PathologicalStrings { .. }
+                | FaultProfile::NonFinite { .. }
+                | FaultProfile::Oversized { .. }
+        )));
+        // Nesting across rates, like `assign`.
+        let lo = FaultConfig::with_rate(0.2, 9).assign_payload(60);
+        let hi = FaultConfig::with_rate(0.6, 9).assign_payload(60);
+        for (a, b) in lo.iter().zip(hi.iter()) {
+            if *a != FaultProfile::Healthy {
+                assert_eq!(a, b);
+            }
+        }
+        // Independent stream from acquisition-fault assignment.
+        assert_ne!(cfg.assign(100), a);
     }
 
     #[test]

@@ -335,7 +335,9 @@ fn derive_source_table(
                 "category" => prod.category.clone().into(),
                 "price" => Value::Float(world.price_at(pi, tick)),
                 "stock" => Value::Int(prod.stock),
-                _ => unreachable!(),
+                // `cols` is built from the fixed list above; any future
+                // column lands as Null rather than panicking mid-generation.
+                _ => Value::Null,
             };
             // Keys stay non-null so records remain linkable; their errors are
             // typos (ER stress) at a reduced rate.

@@ -129,7 +129,9 @@ impl Value {
                 Value::Int(i) => Ok(Value::Bool(*i != 0)),
                 _ => Err(TypeError(format!("cannot coerce {self:?} to Bool"))),
             },
-            DataType::Null => unreachable!("handled above"),
+            // Handled by the early return above; kept total so a future
+            // refactor of that guard can't reintroduce a panic path.
+            DataType::Null => Ok(self.clone()),
         }
     }
 

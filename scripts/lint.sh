@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Source-level lint gate (the repo-side twin of `wrangler-lint`'s artifact
-# analysis). Three rules, all enforced in CI via scripts/verify.sh:
+# analysis). Four rules, all enforced in CI via scripts/verify.sh:
 #
 #   1. No `.unwrap()` / `.expect(` in library crate `src/` outside test code.
 #      Library code must propagate errors; a deliberate invariant may stay if
@@ -16,6 +16,12 @@
 #      `partial_cmp(..).unwrap_or(Equal)` makes float orderings silently
 #      input-order-dependent under NaN (the PR-3 bug class); use `total_cmp`
 #      plus a stable tie-break, or justify with `lint-allow: <reason>`.
+#
+#   4. No bare `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
+#      library `src/` outside test code. A panic in one source's data must
+#      not kill the whole pass (the containment layer exists to absorb it);
+#      return a structured `TableError` instead, or justify a true
+#      invariant with a `lint-allow: <reason>` comment.
 #
 # Scanning stops at the first `#[cfg(test)]` in a file: this repo keeps test
 # modules at the end of each source file.
@@ -112,6 +118,30 @@ nan_hits=$(for f in $(lib_sources); do scan_nan_sorts "$f"; done)
 if [ -n "$nan_hits" ]; then
   echo "lint: partial_cmp inside a sort comparator (NaN makes the order input-dependent; use total_cmp + a stable tie-break, or add \`// lint-allow: <reason>\`):"
   echo "$nan_hits"
+  fail=1
+fi
+
+# --- Rule 4: bare panics in library code --------------------------------------
+# `panic!`/`unreachable!`/`todo!`/`unimplemented!` outside test modules turn
+# one source's bad data into a whole-pass crash; library code must return a
+# structured error and let the containment layer decide.
+scan_bare_panics() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }  # comment / doc-example lines
+    /(^|[^_[:alnum:]])(panic!|unreachable!|todo!|unimplemented!)/ {
+      if ($0 !~ /lint-allow:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+    }
+  ' "$f"
+}
+
+bare_panic_hits=$(for f in $(lib_sources); do scan_bare_panics "$f"; done)
+if [ -n "$bare_panic_hits" ]; then
+  echo "lint: bare panic!/unreachable!/todo!/unimplemented! in library code (return a structured TableError, or add \`// lint-allow: <reason>\` for a true invariant):"
+  echo "$bare_panic_hits"
   fail=1
 fi
 

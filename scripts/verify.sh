@@ -43,4 +43,10 @@ echo "==> e14 ER kernel scaling (full run + count-field determinism)"
 ./target/release/e14_er_scaling --counts > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
+echo "==> e15 containment (full run + count/report determinism)"
+./target/release/e15_containment
+./target/release/e15_containment --counts > "$tmp_a"
+./target/release/e15_containment --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
 echo "verify: all green"

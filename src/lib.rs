@@ -57,12 +57,13 @@ pub use wrangler_uncertainty as uncertainty;
 pub mod prelude {
     pub use wrangler_context::{Criterion, DataContext, Ontology, QualityVector, UserContext};
     pub use wrangler_core::{
-        suggest_feedback_targets, Plan, UncertainView, WrangleOutcome, Wrangler,
+        suggest_feedback_targets, ChaosPolicy, ContainPolicy, ContainmentReport, Plan,
+        UncertainView, WrangleOutcome, Wrangler,
     };
     pub use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
     pub use wrangler_lint::{Diagnostic, GateMode, Report, Severity};
     pub use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
-    pub use wrangler_sources::{FleetConfig, SourceId, SourceMeta, SourceRegistry};
+    pub use wrangler_sources::{FaultProfile, FleetConfig, SourceId, SourceMeta, SourceRegistry};
     pub use wrangler_table::{DataType, Expr, Schema, Table, Value};
     pub use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 }
