@@ -1,0 +1,96 @@
+//! Lint ratchet: compare the full pipeline's static findings against the
+//! committed `lint-baseline.json` and fail on anything *new*.
+//!
+//! The pipeline legitimately carries advisory findings today (messy-number
+//! normalization is lossy, and the analyzer says so). Hard-failing on every
+//! warning would force either silencing the analyzer or a big-bang cleanup;
+//! instead this binary grandfathers the committed findings and blocks only
+//! regressions: any diagnostic absent from the baseline — new code, new
+//! locus, new message — fails the build with exit code 1.
+//!
+//! The probe session is fully seeded (standard fleet, fixed filter and
+//! projection, Warn gate so findings are collected without blocking), so the
+//! merged canonical report is byte-stable across runs and machines.
+//!
+//! Usage:
+//!   lint_gate            compare against lint-baseline.json, exit 1 on new findings
+//!   lint_gate --write    regenerate lint-baseline.json from the current pipeline
+
+use std::process::ExitCode;
+
+use wrangler_bench::{default_fleet_config, fleet, session};
+use wrangler_context::UserContext;
+use wrangler_core::{ContainPolicy, OptMode};
+use wrangler_lint::{GateMode, Report};
+use wrangler_table::Expr;
+
+const SEED: u64 = 1606;
+const BASELINE: &str = "lint-baseline.json";
+
+fn probe_report() -> Report {
+    let cfg = default_fleet_config();
+    let f = fleet(&cfg, SEED);
+    let mut w = session(&f, UserContext::balanced("lint-gate"))
+        .with_lint_gate(GateMode::Warn)
+        .with_contain_policy(ContainPolicy::off())
+        .with_opt_mode(OptMode::Optimized)
+        .with_row_filter(Expr::col("category").eq(Expr::lit("electronics")))
+        .with_output_columns(vec!["sku".into(), "name".into(), "price".into()]);
+    if let Err(e) = w.wrangle() {
+        eprintln!("lint_gate: probe wrangle failed: {e}");
+        std::process::exit(2);
+    }
+    // Merged + canonicalized across every origin: per-source mapping checks,
+    // the plan-step audit, and the whole-plan IR analysis.
+    w.lint_report()
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write");
+    let report = probe_report();
+
+    if write {
+        let json = report.to_baseline_json();
+        if let Err(e) = std::fs::write(BASELINE, &json) {
+            eprintln!("lint_gate: cannot write {BASELINE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint_gate: wrote {BASELINE} ({} grandfathered findings)",
+            report.diagnostics().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(BASELINE) {
+        Ok(s) => match Report::from_baseline_json(&s) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint_gate: {BASELINE} is corrupt: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("lint_gate: cannot read {BASELINE}: {e} (run with --write to create it)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fresh = report.newly_versus(&baseline);
+    if fresh.is_empty() {
+        println!(
+            "lint_gate: ok — {} findings, all grandfathered by {BASELINE}",
+            report.diagnostics().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "lint_gate: {} NEW finding(s) versus {BASELINE} — fix them or consciously \
+         regenerate the baseline with --write:",
+        fresh.len()
+    );
+    for d in &fresh {
+        eprintln!("  {d}");
+    }
+    ExitCode::FAILURE
+}

@@ -16,6 +16,9 @@
 //! * [`contain`] — stage-level fault containment: poison-payload
 //!   quarantine, per-stage budgets and panic isolation, so a source that
 //!   goes bad *mid-pipeline* degrades the pass instead of killing it;
+//! * [`lower`] — lowers each wrangle pass into the `wrangler-plan` typed IR;
+//!   the compiled [`wrangler_plan::PlanProgram`] then drives filter
+//!   placement, fuse liveness, profile sharing and the output projection;
 //! * [`baseline`] — the manually specified ETL comparator with effort
 //!   accounting (what §1 argues cannot scale);
 //! * [`eval`] — ground-truth scoring against the synthetic fleet, used by
@@ -26,6 +29,7 @@ pub mod active;
 pub mod baseline;
 pub mod contain;
 pub mod eval;
+pub mod lower;
 pub mod planner;
 pub mod provenance;
 pub mod uncertain;
@@ -41,8 +45,10 @@ pub use contain::{
     ChaosPolicy, ContainMode, ContainPolicy, ContainmentReport, QuarantineEvent, Stage,
     StageTallies,
 };
+pub use lower::{lower, LowerInput};
 pub use planner::Plan;
-pub use provenance::{acquisition_table, lint_table, metrics_table, provenance_table};
+pub use provenance::{acquisition_table, lint_table, metrics_table, plan_table, provenance_table};
 pub use uncertain::UncertainView;
 pub use wrangler::{WrangleOutcome, Wrangler};
 pub use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
+pub use wrangler_plan::{OptMode, PlanProgram};

@@ -132,6 +132,32 @@ pub fn lint_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
     Ok(out)
 }
 
+/// Columns of the plan-rewrite table.
+pub const PLAN_COLUMNS: [&str; 4] = ["rewrite", "target", "justification", "description"];
+
+/// Materialize the last wrangle's verified rewrite ledger as a table: one
+/// row per optimizer rewrite, carrying the analysis facts that justify it.
+/// This is the proof-carrying half of the plan lineage — every execution
+/// shortcut (pushed-down filter, shared profile, skipped dead fusion) is
+/// attributable to a machine-checked citation. Empty before the first
+/// wrangle or when nothing was rewritten (e.g. naive mode).
+pub fn plan_table(wrangler: &Wrangler) -> wrangler_table::Result<Table> {
+    let schema = Schema::of_strs(&PLAN_COLUMNS);
+    let mut out = Table::empty(schema);
+    if let Some(program) = wrangler.plan_program() {
+        for [rewrite, target, justification, description] in program.rewrite_rows() {
+            out.push_row(vec![
+                Value::from(rewrite),
+                Value::from(target),
+                Value::from(justification),
+                Value::from(description),
+            ])?;
+        }
+    }
+    out.reinfer_types();
+    Ok(out)
+}
+
 /// Columns of the metrics table.
 pub const METRICS_COLUMNS: [&str; 3] = ["metric", "kind", "value"];
 

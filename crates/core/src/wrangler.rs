@@ -11,8 +11,8 @@ use wrangler_fusion::strategies::{fuse_attribute, FusedValue, SourceContext};
 use wrangler_fusion::truthfinder::{truthfinder, TruthFinderConfig};
 use wrangler_fusion::ClaimSet;
 use wrangler_lint::{GateMode, Report as LintReport};
-use wrangler_mapping::{generate_mapping, Mapping};
-use wrangler_match::MatchConfig;
+use wrangler_mapping::{generate_mapping, generate_mapping_with_profiles, Mapping};
+use wrangler_match::{profile_table, MatchConfig};
 use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
 use wrangler_quality::profile::{quality_vector, ExternalSignals, TableProfile};
 use wrangler_resolve::learn::{refine_rule, LabeledPair};
@@ -24,7 +24,8 @@ use wrangler_sources::{
     select_greedy_utility, select_marginal_gain, Source, SourceEstimate, SourceId, SourceMeta,
     SourceRegistry,
 };
-use wrangler_table::{DataType, Schema, Table, TableError, Value};
+use wrangler_plan::{FilterPlacement, OptMode, PlanProgram};
+use wrangler_table::{ops, DataType, Expr, Schema, Table, TableError, Value};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
 use crate::acquire::{Acquisition, AcquisitionSummary};
@@ -32,6 +33,7 @@ use crate::contain::{
     catch_quiet, poison_reason, ContainMode, ContainPolicy, ContainmentReport, Guarded, Stage,
     StageGuard,
 };
+use crate::lower::{self, LowerInput};
 use crate::planner::{Plan, SelectionStrategy};
 use crate::working::{Artifact, PairScoreCache, WorkingData};
 
@@ -44,6 +46,12 @@ struct SourceState {
     mapping: Option<Mapping>,
     /// The mapped (target-schema) table, if computed.
     mapped: Option<Table>,
+    /// Which filter placement (and predicate) `mapped` was computed under:
+    /// `None` for a plain mapping run, `Some("acquire|…")` /
+    /// `Some("post-map|…")` when an early-placed filter already ran. A cached
+    /// table is reusable only when the tag matches the current program's
+    /// decision.
+    filter_tag: Option<String>,
     /// Relevance to the data context in \[0, 1\].
     relevance: f64,
 }
@@ -163,11 +171,24 @@ pub struct Wrangler {
     /// with error-grade findings, `Warn` records and proceeds, `Off` skips
     /// analysis entirely.
     lint_gate: GateMode,
-    /// Findings of the last pre-flight pass, labelled by origin (`"plan"` or
-    /// `"src{i}"`), kept for provenance export.
+    /// Findings of the last pre-flight pass, labelled by origin (`"plan"`,
+    /// `"plan-ir"` or `"src{i}"`), kept for provenance export.
     last_lint: Vec<(String, LintReport)>,
     /// Containment report of the last full wrangle.
     last_containment: ContainmentReport,
+    /// Optional row predicate over the target schema, applied before ER.
+    /// Where it actually runs is the optimizer's decision (per-source
+    /// pushdown when the facts allow it; the union loop otherwise).
+    row_filter: Option<Expr>,
+    /// Optional output projection (target column names). `None` delivers
+    /// every target column. Drives dead-column elimination at fuse.
+    output_columns: Option<Vec<String>>,
+    /// Whether wrangles execute the optimized plan (default) or the naive
+    /// one — the E16 comparison axis. Outputs are byte-identical.
+    opt_mode: OptMode,
+    /// The compiled plan program of the last wrangle (IR, analysis facts,
+    /// findings, and the verified rewrite ledger).
+    last_program: Option<PlanProgram>,
 }
 
 impl Wrangler {
@@ -203,7 +224,58 @@ impl Wrangler {
             lint_gate: GateMode::default(),
             last_lint: Vec::new(),
             last_containment: ContainmentReport::default(),
+            row_filter: None,
+            output_columns: None,
+            opt_mode: OptMode::default(),
+            last_program: None,
         }
+    }
+
+    /// Install a row predicate over the target schema: only rows satisfying
+    /// it enter ER and fusion. The predicate must be pure (no side channels —
+    /// the analyzer checks) and is placed by the optimizer: at acquisition
+    /// when every referenced binding is certified cell-exact, after mapping
+    /// when the containment barrier is down, in the union loop otherwise.
+    pub fn with_row_filter(mut self, predicate: Expr) -> Wrangler {
+        self.row_filter = Some(predicate);
+        self.invalidate_plan_shape();
+        self
+    }
+
+    /// Project the delivered table onto `columns` (target names, in the
+    /// given order; `_confidence` is always appended). Unprojected columns
+    /// become dead at fuse and the optimizer skips fusing them.
+    pub fn with_output_columns(mut self, columns: Vec<String>) -> Wrangler {
+        self.output_columns = Some(columns);
+        self.invalidate_plan_shape();
+        self
+    }
+
+    /// Select naive or optimized plan execution (default:
+    /// [`OptMode::Optimized`]). Outputs are byte-identical; naive is the E16
+    /// cost baseline.
+    pub fn with_opt_mode(mut self, mode: OptMode) -> Wrangler {
+        self.opt_mode = mode;
+        self.invalidate_plan_shape();
+        self
+    }
+
+    /// The compiled plan program of the last wrangle: the typed IR, the
+    /// analysis fact base, findings, and the verified rewrite ledger.
+    pub fn plan_program(&self) -> Option<&PlanProgram> {
+        self.last_program.as_ref()
+    }
+
+    /// A plan-shape knob changed (filter, projection, opt mode): cached
+    /// mapped tables may embed a stale early-placed filter, and cached
+    /// clusters/results were computed under the old shape.
+    fn invalidate_plan_shape(&mut self) {
+        for i in 0..self.states.len() {
+            self.working.invalidate(Artifact::MappedTable(i));
+        }
+        self.working.invalidate(Artifact::Clusters);
+        self.working.invalidate(Artifact::Result);
+        self.cache = None;
     }
 
     /// Replace the stage-level containment policy (default:
@@ -354,6 +426,7 @@ impl Wrangler {
             trust: Belief::from_prior(0.6),
             mapping: None,
             mapped: None,
+            filter_tag: None,
             relevance: 1.0,
         });
         self.working.invalidate_source(id.0 as usize);
@@ -632,6 +705,17 @@ impl Wrangler {
                         .is_some_and(|c| c.should_panic(Stage::MapGenerate, id));
                 inputs.push((i, table, chaos_hit));
             }
+            // Cross-source CSE: the target-sample column profiles are the
+            // same for every source, so the optimized mode computes them
+            // once here and shares them across workers (the
+            // `share-target-profile` rewrite — recorded with its justifying
+            // fact in the compiled program's ledger below). Naive mode
+            // re-profiles the target per source: the E16 wall-clock
+            // baseline. Profiling is deterministic, so the generated
+            // mappings are identical either way.
+            let shared_profiles = (self.opt_mode == OptMode::Optimized && inputs.len() >= 2)
+                .then(|| profile_table(sample));
+            let shared_profiles = shared_profiles.as_deref();
             let timed = self.obs.is_on();
             type GenItem = (usize, Result<Mapping, String>);
             type WorkerStats = Vec<(u64, u128)>;
@@ -664,13 +748,23 @@ impl Wrangler {
                                             if chaos_hit {
                                                 panic!("chaos: injected map_generate panic"); // lint-allow: deterministic chaos injection, caught one line up
                                             }
-                                            generate_mapping(
-                                                table,
-                                                target,
-                                                sample,
-                                                Some(ontology),
-                                                match_cfg,
-                                            )
+                                            match shared_profiles {
+                                                Some(profiles) => generate_mapping_with_profiles(
+                                                    table,
+                                                    target,
+                                                    sample,
+                                                    profiles,
+                                                    Some(ontology),
+                                                    match_cfg,
+                                                ),
+                                                None => generate_mapping(
+                                                    table,
+                                                    target,
+                                                    sample,
+                                                    Some(ontology),
+                                                    match_cfg,
+                                                ),
+                                            }
                                         });
                                         (i, res)
                                     })
@@ -747,12 +841,85 @@ impl Wrangler {
         }
         self.obs.end();
 
-        // 3b. Pre-flight static analysis: lint every (mapping, source schema)
+        // 3b. Lower the pass into the typed plan IR and compile it: the
+        // analyzer establishes the fact base, emits whole-plan findings
+        // (L301+), and the optimizer's rewrite ledger is re-verified against
+        // the facts. A forged or insufficient justification is rejected
+        // *here*, with a typed L304 diagnostic, before anything executes.
+        self.obs.begin("plan");
+        self.last_lint.clear();
+        let compiled = {
+            let mut inputs: Vec<LowerInput<'_>> = Vec::with_capacity(selected.len());
+            for id in &selected {
+                let i = id.0 as usize;
+                let table = match degraded_tables.get(&i) {
+                    Some(t) => t,
+                    None => {
+                        &self
+                            .registry
+                            .get(*id)
+                            .ok_or_else(|| TableError::Unavailable(format!("{id}: not registered")))?
+                            .table
+                    }
+                };
+                let mapping = self.states[i]
+                    .mapping
+                    .as_ref()
+                    .ok_or_else(|| TableError::Invalid(format!("{id}: no mapping available")))?;
+                inputs.push(LowerInput {
+                    source: i,
+                    name: format!("src{i}"),
+                    table,
+                    mapping,
+                });
+            }
+            let ir = lower::lower(
+                &inputs,
+                &self.target,
+                &plan,
+                &policy,
+                self.row_filter.as_ref(),
+                self.output_columns.as_deref(),
+                &self.er_cfg,
+            );
+            PlanProgram::compile(ir, self.opt_mode)
+        };
+        let program = match compiled {
+            Ok(p) => p,
+            Err(report) => {
+                self.obs.inc("plan.rejected");
+                let first = report
+                    .errors()
+                    .next()
+                    .map(|d| d.to_string())
+                    .unwrap_or_default();
+                let summary = report.summary();
+                self.last_lint.push(("plan-ir".to_string(), report));
+                return Err(TableError::Invalid(format!(
+                    "plan compilation rejected the wrangle ({summary}): {first}"
+                )));
+            }
+        };
+        self.obs.count("plan.nodes", program.ir.nodes.len() as u64);
+        self.obs.count("plan.facts", program.facts.len() as u64);
+        self.obs
+            .count("plan.findings", program.report.diagnostics().len() as u64);
+        self.obs.count("opt.rewrites", program.rewrites.len() as u64);
+        for rw in &program.rewrites {
+            self.obs.inc(&format!("opt.rewrite.{}", rw.kind.name()));
+        }
+        if self.lint_gate != GateMode::Off && !program.report.is_empty() {
+            self.last_lint.push(("plan-ir".to_string(), program.report.clone()));
+        }
+        self.last_program = Some(program);
+        self.obs.end();
+
+        // 3c. Pre-flight static analysis: lint every (mapping, source schema)
         // pair plus the plan's determinism description *before* any mapping
         // executes. Under `Deny`, error-grade findings abort here with a
-        // structured error instead of surfacing mid-run (or never).
+        // structured error instead of surfacing mid-run (or never). The
+        // whole-plan findings from 3b participate in the same gate decision.
         self.obs.begin("preflight");
-        self.last_lint.clear();
         if self.lint_gate != GateMode::Off {
             let audit = wrangler_lint::audit_steps(&plan.describe());
             if !audit.is_empty() {
@@ -838,14 +1005,31 @@ impl Wrangler {
         self.obs.end();
         self.obs.begin("map_apply");
         let mut apply_removed: Vec<usize> = Vec::new();
+        let track_scans = self.obs.is_on();
+        let mut scan_map_cells = 0u64;
+        let mut scan_filter_cells = 0u64;
+        let mut scan_bytes = 0u64;
         {
+            let program = self.last_program.as_ref();
+            let target = &self.target;
             let registry = &self.registry;
             let states = &mut self.states;
             let working = &mut self.working;
             let mut guard = StageGuard::new(Stage::MapApply, &policy, creport);
             for id in &selected {
                 let i = id.0 as usize;
-                if states[i].mapped.is_none() || working.is_dirty(Artifact::MappedTable(i)) {
+                let placement = program
+                    .map(|p| p.placement_for(i))
+                    .unwrap_or(FilterPlacement::Union);
+                let predicate = program.and_then(|p| p.predicate());
+                let desired_tag = match (placement, predicate) {
+                    (FilterPlacement::Union, _) | (_, None) => None,
+                    (p, Some(e)) => Some(format!("{}|{e:?}", p.name())),
+                };
+                if states[i].mapped.is_none()
+                    || working.is_dirty(Artifact::MappedTable(i))
+                    || states[i].filter_tag != desired_tag
+                {
                     let table = match degraded_tables.get(&i) {
                         Some(t) => t,
                         None => {
@@ -861,10 +1045,34 @@ impl Wrangler {
                         .mapping
                         .as_ref()
                         .ok_or_else(|| TableError::Invalid(format!("{id}: no mapping available")))?;
+                    // Pushdown to acquisition: the verified ledger proved the
+                    // predicate pure and every referenced binding cell-exact
+                    // for this source, so filtering the *raw* payload (under
+                    // the bound raw column names) keeps the union
+                    // byte-identical while only surviving rows get mapped.
+                    let filtered_raw: Option<Table> = match (placement, predicate) {
+                        (FilterPlacement::Acquire, Some(pred)) => {
+                            let pushed =
+                                lower::pushdown_predicate(pred, table.schema(), target, mapping);
+                            if track_scans {
+                                let cols = wrangler_plan::predicate_columns(&pushed);
+                                scan_filter_cells +=
+                                    (table.num_rows() as u64) * cols.len() as u64;
+                                scan_bytes += lower::columns_scan_bytes(table, &cols);
+                            }
+                            Some(ops::filter(table, &pushed)?)
+                        }
+                        _ => None,
+                    };
+                    let input = filtered_raw.as_ref().unwrap_or(table);
+                    if track_scans {
+                        scan_map_cells += (input.num_rows() as u64) * target.len() as u64;
+                        scan_bytes += lower::table_scan_bytes(input);
+                    }
                     // A mapping that errors against its own payload (e.g. an
                     // out-of-range binding, or a schema that drifted after
                     // the mapping was generated) condemns this source only.
-                    let mut mapped = match guard.run(*id, || mapping.apply(table)) {
+                    let mut mapped = match guard.run(*id, || mapping.apply(input)) {
                         Guarded::Ok(m) => m,
                         Guarded::Quarantined => {
                             apply_removed.push(i);
@@ -872,8 +1080,21 @@ impl Wrangler {
                         }
                         Guarded::Fatal(e) => return Err(e),
                     };
+                    // Post-map placement: the barrier is down but this
+                    // source's bindings are not cell-exact, so filter the
+                    // *mapped* rows before they reach the union.
+                    if let (FilterPlacement::PostMap, Some(pred)) = (placement, predicate) {
+                        if track_scans {
+                            let cols = wrangler_plan::predicate_columns(pred);
+                            scan_filter_cells += (mapped.num_rows() as u64) * cols.len() as u64;
+                            scan_bytes += lower::columns_scan_bytes(&mapped, &cols);
+                        }
+                        mapped = ops::filter(&mapped, pred)?;
+                    }
                     // Row budget: the logical deadline for an unbounded
-                    // feed. Deterministic prefix keep.
+                    // feed. Deterministic prefix keep. (Early filter
+                    // placements require the barrier down, i.e. scans off,
+                    // so the budget and the filter never both apply.)
                     if policy.scans_enabled() && mapped.num_rows() > policy.max_rows_per_source {
                         let excess = (mapped.num_rows() - policy.max_rows_per_source) as u64;
                         if let Some(err) = guard.deadline_excess(*id, "row budget", excess) {
@@ -883,6 +1104,7 @@ impl Wrangler {
                         mapped = mapped.retain_rows(|r| r < keep);
                     }
                     states[i].mapped = Some(mapped);
+                    states[i].filter_tag = desired_tag;
                     working.work.tables_mapped += 1;
                     working.mark_clean(Artifact::MappedTable(i));
                 }
@@ -901,16 +1123,31 @@ impl Wrangler {
             }
         }
         self.obs.count("map.applied", selected.len() as u64);
+        self.obs.count("scan.map.cells", scan_map_cells);
         self.obs.end();
 
         // 4. Union with provenance — and the poison firewall: every row is
         // scanned here, the last point where damage is still attributable
         // to one source, before rows from different sources interleave in
-        // ER and fusion.
+        // ER and fusion. Sources whose filter placement stayed `Union` have
+        // the predicate fused into this loop, *after* the poison scan (the
+        // `fuse-filter-into-union` rewrite) — a poison row is poison whether
+        // or not it matches the filter, so containment decisions are
+        // placement-independent.
         self.obs.begin("union");
+        let inline_filter = match (&self.last_program, self.opt_mode) {
+            (Some(p), OptMode::Optimized) => match p.predicate() {
+                Some(e) => Some(e.bind(&self.target)?),
+                None => None,
+            },
+            _ => None,
+        };
+        let mut scan_union_cells = 0u64;
+        let mut union_filtered = 0u64;
         let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
         let mut union_removed: Vec<usize> = Vec::new();
         {
+            let program = self.last_program.as_ref();
             let states = &self.states;
             let mut guard = StageGuard::new(Stage::Union, &policy, creport);
             for id in &selected {
@@ -919,7 +1156,20 @@ impl Wrangler {
                     .mapped
                     .as_ref()
                     .ok_or_else(|| TableError::Invalid(format!("{id}: not mapped")))?;
+                // Early-placed sources arrive pre-filtered; only
+                // `Union`-placed ones filter here.
+                let filter_here = inline_filter.as_ref().filter(|_| {
+                    program
+                        .map(|p| p.placement_for(i) == FilterPlacement::Union)
+                        .unwrap_or(true)
+                });
+                if track_scans {
+                    scan_union_cells +=
+                        (mapped.num_rows() as u64) * mapped.num_columns() as u64;
+                    scan_bytes += lower::table_scan_bytes(mapped);
+                }
                 let mut poison = 0u64;
+                let mut filtered_out = 0u64;
                 let abort_scan = policy.mode != ContainMode::Contain;
                 let rows = guard.run(*id, || {
                     let mut out: Vec<(usize, Vec<Value>)> = Vec::with_capacity(mapped.num_rows());
@@ -935,10 +1185,24 @@ impl Wrangler {
                                 continue;
                             }
                         }
+                        if let Some(bound) = filter_here {
+                            if !bound.eval_predicate(&row)? {
+                                filtered_out += 1;
+                                continue;
+                            }
+                        }
                         out.push((i, row));
                     }
                     Ok(out)
                 });
+                if track_scans && filter_here.is_some() {
+                    let cols = program
+                        .and_then(|p| p.predicate())
+                        .map(|e| wrangler_plan::predicate_columns(e).len() as u64)
+                        .unwrap_or(0);
+                    scan_filter_cells += (mapped.num_rows() as u64) * cols;
+                }
+                union_filtered += filtered_out;
                 match rows {
                     Guarded::Ok(rows) => {
                         if poison > 0 {
@@ -978,7 +1242,41 @@ impl Wrangler {
                 ));
             }
         }
+        // Naive execution runs the filter as its own pass over the
+        // materialized union — the extra full scan the optimizer's
+        // placements avoid. Both modes feed ER the identical filtered union:
+        // poison/budget decisions happened before either filter site.
+        if self.opt_mode == OptMode::Naive {
+            if let Some(pred) = &self.row_filter {
+                let bound = pred.bind(&self.target)?;
+                if track_scans {
+                    let cols: Vec<usize> = wrangler_plan::predicate_columns(pred)
+                        .iter()
+                        .map(|n| self.target.index_of(n))
+                        .collect::<wrangler_table::Result<_>>()?;
+                    scan_filter_cells += (union.len() as u64) * cols.len() as u64;
+                    for (_, row) in &union {
+                        for &c in &cols {
+                            scan_bytes += lower::value_bytes(&row[c]);
+                        }
+                    }
+                }
+                let mut kept = Vec::with_capacity(union.len());
+                for (src, row) in union {
+                    if bound.eval_predicate(&row)? {
+                        kept.push((src, row));
+                    } else {
+                        union_filtered += 1;
+                    }
+                }
+                union = kept;
+            }
+        }
         self.obs.count("union.rows", union.len() as u64);
+        self.obs.count("union.filtered", union_filtered);
+        self.obs.count("scan.union.cells", scan_union_cells);
+        self.obs.count("scan.filter.cells", scan_filter_cells);
+        self.obs.count("scan.bytes", scan_bytes);
 
         // 5. Entity resolution over the union.
         let union_table = {
@@ -1071,10 +1369,25 @@ impl Wrangler {
         self.obs.count("fuse.anchors", anchors.len() as u64);
 
         // 7. Fuse every slot (honouring value-level feedback constraints).
+        // Columns the projection never reads are dead at fuse: the
+        // `skip-dead-fusion` rewrites (each citing its `DeadAtFuse` fact)
+        // license skipping their fusion work entirely. Their claims stayed
+        // in the claim set above, so trust estimation — and therefore every
+        // *live* fused value — is unchanged.
+        let live_mask: Option<Vec<bool>> = self
+            .last_program
+            .as_ref()
+            .and_then(|p| p.live_mask().map(|m| m.to_vec()));
         // hash-ok: populated per sorted slot, consumed via get()
         let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
         let mut slots_fused = 0u64;
+        let mut slots_skipped = 0u64;
         for (e, a) in claims.slots() {
+            if live_mask.as_ref().is_some_and(|m| !m[a]) {
+                slots_skipped += 1;
+                self.working.mark_clean(Artifact::FusedSlot(e, a));
+                continue;
+            }
             // Per-slot isolation: a fusion strategy that panics on one
             // pathological slot costs that slot (delivered as Null), not
             // the pass.
@@ -1103,6 +1416,7 @@ impl Wrangler {
             self.working.mark_clean(Artifact::FusedSlot(e, a));
         }
         self.obs.count("fuse.slots", slots_fused);
+        self.obs.count("fuse.slots_skipped", slots_skipped);
         self.obs.end();
 
         self.cache = Some(WrangleCache {
@@ -1352,7 +1666,26 @@ impl Wrangler {
     fn assemble(&mut self, plan: &Plan) -> wrangler_table::Result<WrangleOutcome> {
         self.obs.begin("assemble");
         let cache = self.cache.as_ref().expect("assemble requires a cache"); // lint-allow: wrangle() populates the cache before assemble()
-        let mut fields = self.target.fields().to_vec();
+        // The delivered attributes are the plan's output projection (all
+        // target columns when none was requested). Both execution modes
+        // iterate the same projected set, so `_confidence` — the mean over
+        // delivered projected values — is byte-identical across modes.
+        let output_attrs: Vec<usize> = match self
+            .last_program
+            .as_ref()
+            .and_then(|p| p.output_columns())
+            .or_else(|| self.output_columns.clone())
+        {
+            Some(names) => names
+                .iter()
+                .map(|n| self.target.index_of(n))
+                .collect::<wrangler_table::Result<_>>()?,
+            None => (0..self.target.len()).collect(),
+        };
+        let mut fields: Vec<wrangler_table::Field> = output_attrs
+            .iter()
+            .map(|&a| self.target.fields()[a].clone())
+            .collect();
         fields.push(wrangler_table::Field::new("_confidence", DataType::Float));
         let out_schema = Schema::new(fields)?;
         let mut table = Table::empty(out_schema);
@@ -1362,9 +1695,9 @@ impl Wrangler {
         let mut delivered = 0u64;
         let mut withheld = 0u64;
         for e in 0..cache.entities {
-            let mut row = Vec::with_capacity(self.target.len() + 1);
+            let mut row = Vec::with_capacity(output_attrs.len() + 1);
             let mut row_conf = Vec::new();
-            for a in 0..self.target.len() {
+            for &a in &output_attrs {
                 match cache.fused.get(&(e, a)) {
                     Some(f) => {
                         let conf = f.confidence();
@@ -2621,5 +2954,131 @@ mod tests {
         assert_eq!(a.entities, b.entities);
         assert_eq!(a.table.num_rows(), b.table.num_rows());
         assert!((a.utility - b.utility).abs() < 1e-12);
+    }
+
+    /// Bit-exact table fingerprint: floats via `to_bits`, everything else
+    /// via its debug rendering.
+    fn table_fingerprint(t: &Table) -> String {
+        let mut s = String::new();
+        for r in 0..t.num_rows() {
+            for c in 0..t.num_columns() {
+                match t.get(r, c).unwrap() {
+                    Value::Float(f) => s.push_str(&format!("f{:016x};", f.to_bits())),
+                    v => s.push_str(&format!("{v:?};")),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    fn category_filter() -> Expr {
+        Expr::col("category")
+            .eq(Expr::lit("electronics"))
+            .or(Expr::col("category").eq(Expr::lit("home")))
+    }
+
+    fn projection() -> Vec<String> {
+        vec!["sku".into(), "name".into(), "price".into()]
+    }
+
+    #[test]
+    fn optimized_and_naive_are_byte_identical_with_barrier_up() {
+        // Default containment: the scan barrier is up, so the filter stays
+        // fused in the union loop; CSE and dead-fusion still apply.
+        let fleet = small_fleet();
+        let mut opt = session(&fleet, UserContext::balanced("t"))
+            .with_row_filter(category_filter())
+            .with_output_columns(projection());
+        let mut naive = session(&fleet, UserContext::balanced("t"))
+            .with_row_filter(category_filter())
+            .with_output_columns(projection())
+            .with_opt_mode(OptMode::Naive);
+        let a = opt.wrangle().unwrap();
+        let b = naive.wrangle().unwrap();
+        assert_eq!(table_fingerprint(&a.table), table_fingerprint(&b.table));
+        assert_eq!(a.entities, b.entities);
+        let program = opt.plan_program().expect("optimized program");
+        let kinds: Vec<&str> = program.rewrites.iter().map(|r| r.kind.name()).collect();
+        assert!(kinds.contains(&"fuse-filter-into-union"), "{kinds:?}");
+        assert!(kinds.contains(&"skip-dead-fusion"), "{kinds:?}");
+        assert!(naive.plan_program().unwrap().rewrites.is_empty());
+    }
+
+    #[test]
+    fn optimized_and_naive_are_byte_identical_with_pushdown() {
+        // Containment off drops the scan barrier: cell-exact sources get
+        // the filter pushed all the way into acquisition, and the result
+        // must still match the naive materialize-then-filter pass bit for
+        // bit.
+        let fleet = small_fleet();
+        let mut opt = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::off())
+            .with_row_filter(category_filter())
+            .with_output_columns(projection());
+        let mut naive = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::off())
+            .with_row_filter(category_filter())
+            .with_output_columns(projection())
+            .with_opt_mode(OptMode::Naive);
+        let a = opt.wrangle().unwrap();
+        let b = naive.wrangle().unwrap();
+        assert_eq!(table_fingerprint(&a.table), table_fingerprint(&b.table));
+        let program = opt.plan_program().expect("optimized program");
+        // At least one source's filter left the union loop.
+        let early = (0..opt.num_sources())
+            .any(|i| program.placement_for(i) != wrangler_plan::FilterPlacement::Union);
+        assert!(early, "no early placement despite barrier down");
+        // And the optimized pass scanned strictly fewer bytes.
+        assert!(
+            a.metrics.counts["scan.bytes"] < b.metrics.counts["scan.bytes"],
+            "opt {} vs naive {}",
+            a.metrics.counts["scan.bytes"],
+            b.metrics.counts["scan.bytes"]
+        );
+    }
+
+    #[test]
+    fn projection_delivers_only_requested_columns() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_output_columns(projection());
+        let out = w.wrangle().unwrap();
+        assert_eq!(
+            out.table.schema().names(),
+            vec!["sku", "name", "price", "_confidence"]
+        );
+        // brand/category are dead at fuse and their slots were skipped.
+        assert!(out.metrics.counts["fuse.slots_skipped"] > 0);
+    }
+
+    #[test]
+    fn plan_program_carries_verified_justifications() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_row_filter(category_filter())
+            .with_output_columns(projection());
+        let out = w.wrangle().unwrap();
+        let program = w.plan_program().expect("program recorded");
+        assert!(program.verification.is_clean());
+        assert!(!program.rewrites.is_empty());
+        for rw in &program.rewrites {
+            assert!(!rw.justification.is_empty(), "{:?}", rw.kind);
+        }
+        // Every rewrite is attributed in telemetry and the plan counters ran.
+        assert!(out.metrics.counts["plan.nodes"] > 0);
+        assert!(out.metrics.counts["plan.facts"] > 0);
+        assert_eq!(
+            out.metrics.counts["opt.rewrites"],
+            program.rewrites.len() as u64
+        );
+        let attributed: u64 = out
+            .metrics
+            .counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("opt.rewrite."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(attributed, program.rewrites.len() as u64);
     }
 }

@@ -222,3 +222,85 @@ proptest! {
         prop_assert_eq!(b.availability(t0 + cooldown + u64::from(probes)), 1.0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Plan equivalence: the optimizer may push filters toward acquisition, share
+// target profiles across sources and skip dead fusion slots — but only with
+// verified justifications, and the delivered table must stay byte-identical
+// to naive execution under any fleet, fault profile, containment mode,
+// filter and projection combination.
+// ---------------------------------------------------------------------------
+
+use wrangler_core::OptMode;
+use wrangler_table::Expr;
+
+/// Bit-exact fingerprint: floats via `to_bits` (NaN-safe, -0.0 ≠ 0.0 safe),
+/// everything else via debug rendering.
+fn table_fingerprint(t: &Table) -> String {
+    let mut s = String::new();
+    for r in 0..t.num_rows() {
+        for c in 0..t.num_columns() {
+            match t.get(r, c).unwrap() {
+                Value::Float(f) => s.push_str(&format!("f{:016x};", f.to_bits())),
+                v => s.push_str(&format!("{v:?};")),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimized_execution_is_byte_identical_to_naive(
+        fleet_seed in any::<u64>(),
+        fault_rate in 0.0f64..=0.4,
+        fault_seed in any::<u64>(),
+        policy_pick in 0u8..3,
+        with_filter in any::<bool>(),
+        with_projection in any::<bool>(),
+    ) {
+        let fleet = wrangler_sources::synthetic::generate_fleet(
+            &FleetConfig { num_products: 20, num_sources: 5, now: 10, ..FleetConfig::default() },
+            fleet_seed,
+        );
+        let policy = match policy_pick {
+            0 => ContainPolicy::off(),     // barrier down: pushdown legal
+            1 => ContainPolicy::contain(), // barrier up: union placement only
+            _ => ContainPolicy::abort(),
+        };
+        let profiles = FaultConfig::with_rate(fault_rate, fault_seed)
+            .assign_payload(fleet.registry.len());
+        let run = |mode: OptMode| {
+            let mut w = contain_session(&fleet)
+                .with_contain_policy(policy.clone())
+                .with_opt_mode(mode);
+            for (i, p) in profiles.iter().enumerate() {
+                w.set_fault_profile(SourceId(i as u32), *p);
+            }
+            if with_filter {
+                w = w.with_row_filter(
+                    Expr::col("category")
+                        .eq(Expr::lit("electronics"))
+                        .or(Expr::col("category").eq(Expr::lit("home"))),
+                );
+            }
+            if with_projection {
+                w = w.with_output_columns(vec!["sku".into(), "name".into(), "price".into()]);
+            }
+            match w.wrangle() {
+                Ok(o) => format!(
+                    "ok:{}:{:?}:{}",
+                    o.entities,
+                    o.selected_sources,
+                    table_fingerprint(&o.table)
+                ),
+                // Both modes must fail the same way (same structured error).
+                Err(e) => format!("err:{e}"),
+            }
+        };
+        prop_assert_eq!(run(OptMode::Optimized), run(OptMode::Naive));
+    }
+}

@@ -23,6 +23,15 @@ pub enum DefectClass {
     UnbindAll,
     /// A well-typed predicate is rewritten into an ill-typed one.
     IllTypedPredicate,
+    /// A column dropped from the output projection is still consumed by a
+    /// downstream operator — visible only to whole-plan liveness analysis.
+    DeadColumnConsumed,
+    /// A filter forced below a lossy cast boundary, where row verdicts can
+    /// diverge — visible only to whole-plan pushdown-safety analysis.
+    LossyPushdown,
+    /// Map-generation work duplicated across sources with the same inferred
+    /// schema — visible only to whole-plan common-subexpression detection.
+    DuplicateMapWork,
 }
 
 impl DefectClass {
@@ -35,6 +44,14 @@ impl DefectClass {
         DefectClass::UnbindAll,
     ];
 
+    /// The classes that corrupt whole-plan structure; injection sites live in
+    /// `wrangler-plan` (the IR layer), which this crate cannot depend on.
+    pub const PLAN_CLASSES: [DefectClass; 3] = [
+        DefectClass::DeadColumnConsumed,
+        DefectClass::LossyPushdown,
+        DefectClass::DuplicateMapWork,
+    ];
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -43,20 +60,27 @@ impl DefectClass {
             DefectClass::ArityCorruption => "arity-corruption",
             DefectClass::UnbindAll => "unbind-all",
             DefectClass::IllTypedPredicate => "ill-typed-predicate",
+            DefectClass::DeadColumnConsumed => "dead-column-consumed",
+            DefectClass::LossyPushdown => "lossy-pushdown",
+            DefectClass::DuplicateMapWork => "duplicate-map-work",
         }
     }
 }
 
 /// Minimal deterministic RNG (splitmix64); good enough for picking injection
-/// sites, and keeps this crate free of an RNG dependency.
-struct Split(u64);
+/// sites, and keeps this crate free of an RNG dependency. Public so the plan
+/// layer's defect injector draws from the same stream family.
+pub struct Split(u64);
 
 impl Split {
-    fn new(seed: u64) -> Split {
+    /// Stream seeded by `seed`.
+    pub fn new(seed: u64) -> Split {
         Split(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
     }
 
-    fn next(&mut self) -> u64 {
+    /// Next 64 random bits.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, infallible
+    pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -64,7 +88,8 @@ impl Split {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, n: usize) -> usize {
+    /// Uniform draw in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
         (self.next() % n.max(1) as u64) as usize
     }
 }
@@ -142,7 +167,13 @@ pub fn inject_mapping_defect(
             }
             Some(m)
         }
-        DefectClass::IllTypedPredicate => None,
+        // Predicate and whole-plan classes have no mapping injection site;
+        // the former is handled by `corrupt_predicate`, the latter by
+        // `wrangler-plan`'s IR-level injector.
+        DefectClass::IllTypedPredicate
+        | DefectClass::DeadColumnConsumed
+        | DefectClass::LossyPushdown
+        | DefectClass::DuplicateMapWork => None,
     }
 }
 

@@ -34,6 +34,18 @@ impl fmt::Display for Severity {
     }
 }
 
+impl Severity {
+    /// Inverse of `Display`, for reading persisted baselines.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
 /// Which layer of the wrangling pipeline a finding concerns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
@@ -106,6 +118,19 @@ pub enum Code {
     HashOrderHazard,
     /// A parallel step merges worker output without normalizing order.
     UnorderedMerge,
+    // --- whole-plan analysis (L3xx) ---
+    /// A column that is dead at fuse time (absent from the output
+    /// projection) is still consumed by a downstream operator.
+    PlanDeadColumn,
+    /// A predicate pushed below a lossy cast boundary, or placed ahead of a
+    /// containment scan barrier, where its verdicts could diverge.
+    PlanLossyPushdown,
+    /// Identical map-generation work repeated across sources sharing the
+    /// same inferred schema profile.
+    PlanDuplicateMapWork,
+    /// An optimizer rewrite whose cited justification is missing from, or
+    /// contradicted by, the analysis facts.
+    PlanUnjustifiedRewrite,
 }
 
 impl Code {
@@ -131,7 +156,41 @@ impl Code {
             Code::UnseededStep => "L201",
             Code::HashOrderHazard => "L202",
             Code::UnorderedMerge => "L203",
+            Code::PlanDeadColumn => "L301",
+            Code::PlanLossyPushdown => "L302",
+            Code::PlanDuplicateMapWork => "L303",
+            Code::PlanUnjustifiedRewrite => "L304",
         }
+    }
+
+    /// Inverse of [`Code::as_str`], for reading persisted baselines.
+    pub fn parse(s: &str) -> Option<Code> {
+        let all = [
+            Code::BindingOutOfRange,
+            Code::BindingArityMismatch,
+            Code::IncompatibleBinding,
+            Code::LossyBinding,
+            Code::UnboundRequired,
+            Code::ZeroCoverage,
+            Code::ConflictingReuse,
+            Code::UnknownColumn,
+            Code::ColumnIndexOutOfRange,
+            Code::CrossTypeComparison,
+            Code::IllTypedArithmetic,
+            Code::IllTypedLogic,
+            Code::DivByZero,
+            Code::NullPropagation,
+            Code::ImpossibleCast,
+            Code::NonBooleanPredicate,
+            Code::UnseededStep,
+            Code::HashOrderHazard,
+            Code::UnorderedMerge,
+            Code::PlanDeadColumn,
+            Code::PlanLossyPushdown,
+            Code::PlanDuplicateMapWork,
+            Code::PlanUnjustifiedRewrite,
+        ];
+        all.into_iter().find(|c| c.as_str() == s)
     }
 
     /// The component this code belongs to.
@@ -153,7 +212,13 @@ impl Code {
             | Code::NullPropagation
             | Code::ImpossibleCast
             | Code::NonBooleanPredicate => Component::Expression,
-            Code::UnseededStep | Code::HashOrderHazard | Code::UnorderedMerge => Component::Plan,
+            Code::UnseededStep
+            | Code::HashOrderHazard
+            | Code::UnorderedMerge
+            | Code::PlanDeadColumn
+            | Code::PlanLossyPushdown
+            | Code::PlanDuplicateMapWork
+            | Code::PlanUnjustifiedRewrite => Component::Plan,
         }
     }
 
@@ -169,7 +234,10 @@ impl Code {
             | Code::ImpossibleCast
             | Code::NonBooleanPredicate
             | Code::UnseededStep
-            | Code::HashOrderHazard => Severity::Error,
+            | Code::HashOrderHazard
+            | Code::PlanDeadColumn
+            | Code::PlanLossyPushdown
+            | Code::PlanUnjustifiedRewrite => Severity::Error,
             // `UnboundRequired` stays a warning because `Field::nullable` is
             // informational in this system (inferred from sample data, never
             // enforced on insert): an all-null column is quality loss, not a
@@ -181,7 +249,8 @@ impl Code {
             | Code::ConflictingReuse
             | Code::CrossTypeComparison
             | Code::DivByZero
-            | Code::UnorderedMerge => Severity::Warning,
+            | Code::UnorderedMerge
+            | Code::PlanDuplicateMapWork => Severity::Warning,
             Code::NullPropagation => Severity::Info,
         }
     }
@@ -229,6 +298,37 @@ impl fmt::Display for Locus {
             }
             Locus::Step(name) => write!(f, "step:{name}"),
         }
+    }
+}
+
+impl Locus {
+    /// Inverse of `Display`, for reading persisted baselines. Every string
+    /// `Display` can produce parses back to the original locus.
+    pub fn parse(s: &str) -> Option<Locus> {
+        if s == "artifact" {
+            return Some(Locus::Whole);
+        }
+        if let Some(rest) = s.strip_prefix("binding[") {
+            let (idx, field) = rest.split_once("]→")?;
+            return Some(Locus::Binding {
+                target_index: idx.parse().ok()?,
+                target_field: field.to_string(),
+            });
+        }
+        if let Some(rest) = s.strip_prefix("step:") {
+            return Some(Locus::Step(rest.to_string()));
+        }
+        if s == "expr" {
+            return Some(Locus::ExprPath(Vec::new()));
+        }
+        if let Some(rest) = s.strip_prefix("expr.") {
+            let mut path = Vec::new();
+            for part in rest.split('.') {
+                path.push(part.parse().ok()?);
+            }
+            return Some(Locus::ExprPath(path));
+        }
+        None
     }
 }
 
@@ -370,6 +470,69 @@ impl Report {
             .collect()
     }
 
+    /// Serialize the report as the committed baseline format: a JSON array
+    /// of `["code","severity","locus","message"]` entries, one per
+    /// diagnostic, in the report's canonical order. Hand-rolled (the
+    /// workspace has no serde) and stable byte-for-byte across runs once the
+    /// report is canonicalized.
+    pub fn to_baseline_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("  [");
+            for (j, part) in [
+                d.code.as_str().to_string(),
+                d.severity.to_string(),
+                d.locus.to_string(),
+                d.message.clone(),
+            ]
+            .iter()
+            .enumerate()
+            {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&json_escape(part));
+                out.push('"');
+            }
+            out.push(']');
+            if i + 1 < self.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Parse a baseline produced by [`Report::to_baseline_json`]. Unknown
+    /// codes/severities/loci are structured errors, not panics, so a stale
+    /// baseline fails loudly in CI instead of silently grandfathering.
+    pub fn from_baseline_json(s: &str) -> Result<Report, String> {
+        let rows = parse_string_rows(s)?;
+        let mut report = Report::new();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != 4 {
+                return Err(format!("baseline entry {i}: want 4 fields, got {}", row.len()));
+            }
+            let code = Code::parse(&row[0])
+                .ok_or_else(|| format!("baseline entry {i}: unknown code {:?}", row[0]))?;
+            let severity = Severity::parse(&row[1])
+                .ok_or_else(|| format!("baseline entry {i}: unknown severity {:?}", row[1]))?;
+            let locus = Locus::parse(&row[2])
+                .ok_or_else(|| format!("baseline entry {i}: unparseable locus {:?}", row[2]))?;
+            report.push(Diagnostic {
+                code,
+                severity,
+                component: code.component(),
+                message: row[3].clone(),
+                locus,
+            });
+        }
+        report.canonicalize();
+        Ok(report)
+    }
+
     /// One-line summary, e.g. `3 diagnostics (1 error, 2 warnings)`.
     pub fn summary(&self) -> String {
         let errors = self.errors().count();
@@ -384,6 +547,124 @@ impl Report {
             self.len()
         )
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal parser for the baseline format: a JSON array of arrays of
+/// strings. Tolerates arbitrary whitespace; rejects anything else.
+fn parse_string_rows(s: &str) -> Result<Vec<Vec<String>>, String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < chars.len() && chars[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    let expect = |i: &mut usize, c: char| -> Result<(), String> {
+        if *i < chars.len() && chars[*i] == c {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!("baseline: expected {c:?} at char {i}", i = *i))
+        }
+    };
+    let parse_str = |i: &mut usize| -> Result<String, String> {
+        expect(i, '"')?;
+        let mut out = String::new();
+        while *i < chars.len() {
+            let c = chars[*i];
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = *chars.get(*i).ok_or("baseline: dangling escape")?;
+                    *i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            if *i + 4 > chars.len() {
+                                return Err("baseline: truncated \\u escape".into());
+                            }
+                            let hex: String = chars[*i..*i + 4].iter().collect();
+                            *i += 4;
+                            let n = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("baseline: bad \\u{hex}"))?;
+                            out.push(
+                                char::from_u32(n)
+                                    .ok_or_else(|| format!("baseline: invalid \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("baseline: bad escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("baseline: unterminated string".into())
+    };
+    skip_ws(&mut i);
+    expect(&mut i, '[')?;
+    let mut rows = Vec::new();
+    skip_ws(&mut i);
+    if i < chars.len() && chars[i] == ']' {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            expect(&mut i, '[')?;
+            let mut row = Vec::new();
+            skip_ws(&mut i);
+            if i < chars.len() && chars[i] == ']' {
+                i += 1;
+            } else {
+                loop {
+                    skip_ws(&mut i);
+                    row.push(parse_str(&mut i)?);
+                    skip_ws(&mut i);
+                    if i < chars.len() && chars[i] == ',' {
+                        i += 1;
+                        continue;
+                    }
+                    expect(&mut i, ']')?;
+                    break;
+                }
+            }
+            rows.push(row);
+            skip_ws(&mut i);
+            if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                continue;
+            }
+            expect(&mut i, ']')?;
+            break;
+        }
+    }
+    skip_ws(&mut i);
+    if i != chars.len() {
+        return Err(format!("baseline: trailing content at char {i}"));
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -445,5 +726,84 @@ mod tests {
         let r = Report::new();
         assert!(r.is_clean() && r.is_empty());
         assert!(!r.blocks(GateMode::Deny));
+    }
+
+    #[test]
+    fn plan_codes_are_stable_and_typed() {
+        assert_eq!(Code::PlanDeadColumn.as_str(), "L301");
+        assert_eq!(Code::PlanLossyPushdown.as_str(), "L302");
+        assert_eq!(Code::PlanDuplicateMapWork.as_str(), "L303");
+        assert_eq!(Code::PlanUnjustifiedRewrite.as_str(), "L304");
+        for c in [
+            Code::PlanDeadColumn,
+            Code::PlanLossyPushdown,
+            Code::PlanDuplicateMapWork,
+            Code::PlanUnjustifiedRewrite,
+        ] {
+            assert_eq!(c.component(), Component::Plan);
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::PlanDuplicateMapWork.severity(), Severity::Warning);
+        assert_eq!(Code::PlanUnjustifiedRewrite.severity(), Severity::Error);
+        assert_eq!(Code::parse("L999"), None);
+    }
+
+    #[test]
+    fn locus_parse_inverts_display() {
+        let loci = [
+            Locus::Whole,
+            Locus::Binding {
+                target_index: 3,
+                target_field: "price".into(),
+            },
+            Locus::ExprPath(vec![]),
+            Locus::ExprPath(vec![0, 2, 1]),
+            Locus::Step("entity-resolution".into()),
+        ];
+        for l in loci {
+            assert_eq!(Locus::parse(&l.to_string()), Some(l.clone()), "{l}");
+        }
+        assert_eq!(Locus::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::LossyBinding,
+            Locus::Binding {
+                target_index: 1,
+                target_field: "price".into(),
+            },
+            "str \"quoted\" feeds\nfloat",
+        ));
+        r.push(Diagnostic::new(
+            Code::PlanDeadColumn,
+            Locus::Step("fusion".into()),
+            "column `brand` dead at fuse",
+        ));
+        r.canonicalize();
+        let json = r.to_baseline_json();
+        let back = Report::from_baseline_json(&json).expect("round trip");
+        assert_eq!(back, r);
+        // Stable: serializing the parsed report reproduces the bytes.
+        assert_eq!(back.to_baseline_json(), json);
+    }
+
+    #[test]
+    fn baseline_json_empty_and_errors() {
+        let empty = Report::from_baseline_json("[]").expect("empty ok");
+        assert!(empty.is_empty());
+        assert_eq!(Report::new().to_baseline_json(), "[\n]\n");
+        assert!(Report::from_baseline_json("[[\"L001\",\"error\",\"artifact\"]]").is_err());
+        assert!(Report::from_baseline_json(
+            "[[\"L999\",\"error\",\"artifact\",\"m\"]]"
+        )
+        .is_err());
+        assert!(Report::from_baseline_json(
+            "[[\"L001\",\"fatal\",\"artifact\",\"m\"]]"
+        )
+        .is_err());
+        assert!(Report::from_baseline_json("[] trailing").is_err());
     }
 }

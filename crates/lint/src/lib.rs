@@ -29,7 +29,7 @@ pub mod expr;
 pub mod mapping;
 pub mod plan;
 
-pub use corrupt::{corrupt_predicate, inject_mapping_defect, DefectClass};
+pub use corrupt::{corrupt_predicate, inject_mapping_defect, DefectClass, Split};
 pub use diag::{Code, Component, Diagnostic, GateMode, Locus, Report, Severity};
 pub use expr::{check_bound, check_expr, check_predicate};
 pub use mapping::check_mapping;

@@ -1,7 +1,9 @@
 //! Mapping generation from schema-match correspondences.
 
 use wrangler_context::Ontology;
-use wrangler_match::{match_schemas, select_one_to_one, MatchConfig};
+use wrangler_match::{
+    match_schemas_with_profiles, profile_table, select_one_to_one, InstanceProfile, MatchConfig,
+};
 use wrangler_table::{Schema, Table};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
@@ -18,12 +20,40 @@ pub fn generate_mapping(
     ontology: Option<&Ontology>,
     cfg: &MatchConfig,
 ) -> Mapping {
+    generate_mapping_with_profiles(
+        source,
+        target,
+        target_sample,
+        &profile_table(target_sample),
+        ontology,
+        cfg,
+    )
+}
+
+/// [`generate_mapping`] with the target sample's column profiles precomputed
+/// (see [`wrangler_match::profile_table`]). Profiling is a pure function of
+/// the sample, so callers aligning many sources against one target can hoist
+/// it out of the loop with byte-identical results.
+pub fn generate_mapping_with_profiles(
+    source: &Table,
+    target: &Schema,
+    target_sample: &Table,
+    target_profiles: &[InstanceProfile],
+    ontology: Option<&Ontology>,
+    cfg: &MatchConfig,
+) -> Mapping {
     debug_assert_eq!(
         target_sample.schema().names(),
         target.names(),
         "sample must carry the target schema"
     );
-    let corrs = select_one_to_one(&match_schemas(target_sample, source, ontology, cfg));
+    let corrs = select_one_to_one(&match_schemas_with_profiles(
+        target_sample,
+        target_profiles,
+        source,
+        ontology,
+        cfg,
+    ));
     // Hint untyped target fields (all-null sample columns) with the dtype the
     // ontology expects, so mapping execution can normalize values into them.
     let target: Schema = {

@@ -22,5 +22,5 @@ pub mod mapping;
 pub mod normalize;
 pub mod refine;
 
-pub use gen::generate_mapping;
+pub use gen::{generate_mapping, generate_mapping_with_profiles};
 pub use mapping::Mapping;

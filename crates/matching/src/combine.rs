@@ -144,6 +144,15 @@ pub fn pair_belief(
     b
 }
 
+/// Instance profiles of every column of a table, in column order. `profile`
+/// is a pure function of the column values, so profiling a table once and
+/// reusing the result across many [`match_schemas_with_profiles`] calls is
+/// byte-identical to re-profiling per call — the basis of the optimizer's
+/// shared-target-profile rewrite.
+pub fn profile_table(table: &Table) -> Vec<InstanceProfile> {
+    table.columns().map(profile).collect()
+}
+
 /// Match two tables' schemas: compute a belief per column pair and return all
 /// pairs above `cfg.min_probability`, strongest first.
 pub fn match_schemas(
@@ -152,7 +161,19 @@ pub fn match_schemas(
     ontology: Option<&Ontology>,
     cfg: &MatchConfig,
 ) -> Vec<Correspondence> {
-    let left_profiles: Vec<InstanceProfile> = left.columns().map(profile).collect();
+    match_schemas_with_profiles(left, &profile_table(left), right, ontology, cfg)
+}
+
+/// [`match_schemas`] with the left side's column profiles precomputed (see
+/// [`profile_table`]). `left_profiles` must be the profiles of `left`'s
+/// columns in order.
+pub fn match_schemas_with_profiles(
+    left: &Table,
+    left_profiles: &[InstanceProfile],
+    right: &Table,
+    ontology: Option<&Ontology>,
+    cfg: &MatchConfig,
+) -> Vec<Correspondence> {
     let right_profiles: Vec<InstanceProfile> = right.columns().map(profile).collect();
     let mut out = Vec::new();
     for (li, lp) in left_profiles.iter().enumerate() {

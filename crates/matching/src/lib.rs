@@ -28,5 +28,8 @@ pub mod select;
 pub mod semantic;
 pub mod strsim;
 
-pub use combine::{match_schemas, Correspondence, MatchConfig};
+pub use combine::{
+    match_schemas, match_schemas_with_profiles, profile_table, Correspondence, MatchConfig,
+};
+pub use instance::InstanceProfile;
 pub use select::select_one_to_one;

@@ -1,0 +1,405 @@
+//! Abstract-interpretation dataflow passes over the plan IR.
+//!
+//! [`analyze`] runs four passes and returns an [`Analysis`]: the IR with
+//! every node's typed schema filled in (schema/nullability flow), the set of
+//! [`Fact`]s the optimizer may cite as rewrite justifications, and a
+//! canonical lint [`Report`] of whole-plan findings (codes `L301`–`L303`,
+//! plus re-audited per-node determinism effects and the predicate
+//! typecheck). The passes are pure functions of the IR: two runs yield equal
+//! output, and re-analyzing an analyzed plan is the identity (the proptests
+//! in `tests/` pin both laws).
+
+use wrangler_lint::{audit_steps, check_predicate, Code, Diagnostic, Locus, Report};
+use wrangler_table::CastSafety;
+
+use crate::ir::{predicate_columns, ColType, OpKind, OpNode, PlanIr};
+
+/// A proposition established by an analysis pass. Facts are the currency of
+/// the optimizer: every rewrite must cite the facts that make it sound, and
+/// the verifier checks the citations against the analysis output.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fact {
+    /// The filter predicate typechecks to boolean over the target schema and
+    /// every referenced column resolves; `columns` are its references,
+    /// sorted. Evaluating it cannot error and reads nothing but `columns`.
+    PredicatePure {
+        /// Referenced target columns, sorted and deduplicated.
+        columns: Vec<String>,
+    },
+    /// For `source`, mapping normalization is the identity on every cell the
+    /// source holds in the binding of `column`: the raw and mapped values
+    /// are bit-identical, so a predicate over the raw column returns the
+    /// same verdict as over the mapped one.
+    CellExactBinding {
+        /// Registry index of the source.
+        source: usize,
+        /// Target column name.
+        column: String,
+    },
+    /// No containment scan or budget runs between map and union, so changing
+    /// the row set ahead of the union firewall cannot alter quarantine or
+    /// truncation decisions.
+    NoScanBarrier,
+    /// `column` is not consumed by any operator after fuse: its fused value
+    /// never reaches the output.
+    DeadAtFuse {
+        /// Target column name.
+        column: String,
+    },
+    /// At least two map operators align their sources against one identical
+    /// target sample, so target-side profiling work is common across them.
+    CommonMapInput {
+        /// Registry indices of the sources sharing the input, sorted.
+        sources: Vec<usize>,
+    },
+}
+
+impl Fact {
+    /// Compact display form, recorded in provenance next to the rewrite it
+    /// justifies.
+    pub fn render(&self) -> String {
+        match self {
+            Fact::PredicatePure { columns } => format!("predicate-pure({})", columns.join(",")),
+            Fact::CellExactBinding { source, column } => {
+                format!("cell-exact(src{source},{column})")
+            }
+            Fact::NoScanBarrier => "no-scan-barrier".to_string(),
+            Fact::DeadAtFuse { column } => format!("dead-at-fuse({column})"),
+            Fact::CommonMapInput { sources } => {
+                let s: Vec<String> = sources.iter().map(|s| format!("src{s}")).collect();
+                format!("common-map-input({})", s.join(","))
+            }
+        }
+    }
+}
+
+/// The outcome of analyzing one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The IR with every node's schema annotation filled in.
+    pub ir: PlanIr,
+    /// Established facts, sorted and deduplicated.
+    pub facts: Vec<Fact>,
+    /// Whole-plan findings, canonical order.
+    pub report: Report,
+}
+
+impl Analysis {
+    /// True if `fact` was established.
+    pub fn holds(&self, fact: &Fact) -> bool {
+        self.facts.binary_search(fact).is_ok()
+    }
+}
+
+/// Run every analysis pass over `ir`.
+pub fn analyze(ir: &PlanIr) -> Analysis {
+    let mut ir = ir.clone();
+    let mut report = Report::new();
+    let mut facts = Vec::new();
+
+    schema_flow(&mut ir);
+    effects_audit(&ir, &mut report);
+    liveness(&ir, &mut facts, &mut report);
+    purity_and_pushdown(&ir, &mut facts, &mut report);
+    duplicate_maps(&ir, &mut facts, &mut report);
+
+    if !ir.scan_barrier {
+        facts.push(Fact::NoScanBarrier);
+    }
+    facts.sort();
+    facts.dedup();
+    report.canonicalize();
+    Analysis { ir, facts, report }
+}
+
+/// Pass 1 — schema/nullability flow. `Acquire` schemas are ground truth from
+/// lowering; every other node's schema is recomputed from its inputs, with
+/// nullability widened where mapping can introduce nulls (unbound fields,
+/// lossy casts whose normalization can fail to parse).
+fn schema_flow(ir: &mut PlanIr) {
+    let target = ir.target.clone();
+    for i in 0..ir.nodes.len() {
+        let inputs: Vec<Vec<ColType>> = ir.nodes[i]
+            .inputs
+            .clone()
+            .into_iter()
+            .map(|j| ir.nodes[j].schema.clone())
+            .collect();
+        let node = &mut ir.nodes[i];
+        match &node.kind {
+            OpKind::Select { .. } => node.schema = Vec::new(),
+            OpKind::Acquire { .. } => {} // ground truth, recorded at lowering
+            OpKind::Map {
+                bindings, casts, ..
+            } => {
+                let input = inputs.first().cloned().unwrap_or_default();
+                node.schema = target
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| {
+                        let nullable = match bindings.get(j).copied().flatten() {
+                            None => true,
+                            Some(s) => {
+                                let src_nullable = input.get(s).map(|c| c.nullable).unwrap_or(true);
+                                src_nullable
+                                    || casts.get(j).copied().unwrap_or(CastSafety::Lossy)
+                                        != CastSafety::Lossless
+                            }
+                        };
+                        ColType::new(&t.name, t.dtype, nullable)
+                    })
+                    .collect();
+            }
+            OpKind::Filter { .. } | OpKind::Er { .. } | OpKind::Fuse { .. } => {
+                node.schema = inputs.first().cloned().unwrap_or_default();
+            }
+            OpKind::Union { .. } => {
+                // Column-wise nullability join over every mapped input.
+                node.schema = target
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| {
+                        let nullable = inputs.is_empty()
+                            || inputs
+                                .iter()
+                                .any(|inp| inp.get(j).map(|c| c.nullable).unwrap_or(true));
+                        ColType::new(&t.name, t.dtype, nullable)
+                    })
+                    .collect();
+            }
+            OpKind::Assemble { output } => {
+                let input = inputs.first().cloned().unwrap_or_default();
+                let mut out: Vec<ColType> = output
+                    .iter()
+                    .filter_map(|name| input.iter().find(|c| &c.name == name).cloned())
+                    .collect();
+                out.push(ColType::new(
+                    "_confidence",
+                    wrangler_table::DataType::Float,
+                    false,
+                ));
+                node.schema = out;
+            }
+        }
+    }
+}
+
+/// Pass 2 — re-audit each node's effect annotations through the existing
+/// determinism audit (L201–L203), so IR-level effects and the described plan
+/// cannot drift apart silently.
+fn effects_audit(ir: &PlanIr, report: &mut Report) {
+    let steps: Vec<_> = ir
+        .nodes
+        .iter()
+        .map(|n| n.effects.to_step(&n.locus_name()))
+        .collect();
+    report.merge(audit_steps(&steps));
+}
+
+/// Pass 3 — backwards column liveness from the output projection. Emits a
+/// [`Fact::DeadAtFuse`] per unprojected target column, and L301 when a
+/// column some downstream operator consumes is marked dead at fuse.
+fn liveness(ir: &PlanIr, facts: &mut Vec<Fact>, report: &mut Report) {
+    let Some(assemble) = ir.assemble_node() else {
+        return;
+    };
+    let OpKind::Assemble { output } = &assemble.kind else {
+        return;
+    };
+    let assemble_locus = Locus::Step(assemble.locus_name());
+    // Columns consumed after fuse: the output projection.
+    for c in &ir.target {
+        if !output.contains(&c.name) {
+            facts.push(Fact::DeadAtFuse {
+                column: c.name.clone(),
+            });
+        }
+    }
+    for name in output {
+        if ir.target_index(name).is_none() {
+            report.push(Diagnostic::new(
+                Code::PlanDeadColumn,
+                assemble_locus.clone(),
+                format!("output column `{name}` is not produced by the plan"),
+            ));
+        }
+    }
+    if let Some(fuse) = ir.fuse_node() {
+        let OpKind::Fuse { live } = &fuse.kind else {
+            return;
+        };
+        for (j, c) in ir.target.iter().enumerate() {
+            let consumed = output.contains(&c.name);
+            let alive = live.get(j).copied().unwrap_or(false);
+            if consumed && !alive {
+                report.push(Diagnostic::new(
+                    Code::PlanDeadColumn,
+                    Locus::Step(fuse.locus_name()),
+                    format!(
+                        "column `{}` is marked dead at fuse but is consumed by the output \
+                         projection",
+                        c.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Pass 4 — predicate purity and pushdown safety. Typechecks the filter
+/// predicate over the target schema ([`Fact::PredicatePure`] when clean),
+/// emits [`Fact::CellExactBinding`] for every certified binding, and L302
+/// for any filter placement ahead of a barrier or lossy cast it cannot
+/// prove safe.
+fn purity_and_pushdown(ir: &PlanIr, facts: &mut Vec<Fact>, report: &mut Report) {
+    let Some(filter) = ir.filter_node() else {
+        // Cell-exactness facts still hold without a filter; record them so
+        // forged-rewrite tests see a fully populated fact base.
+        collect_cell_exact(ir, facts);
+        return;
+    };
+    let OpKind::Filter {
+        predicate,
+        placement,
+    } = &filter.kind
+    else {
+        return;
+    };
+    let columns = predicate_columns(predicate);
+    let pure = match ColType::to_schema(&ir.target) {
+        Some(schema) => {
+            let pred_report = check_predicate(predicate, &schema);
+            let clean = pred_report.is_clean();
+            report.merge(pred_report);
+            clean && columns.iter().all(|c| ir.target_index(c).is_some())
+        }
+        None => false,
+    };
+    if pure {
+        facts.push(Fact::PredicatePure {
+            columns: columns.clone(),
+        });
+    }
+    collect_cell_exact(ir, facts);
+
+    for (source, place) in placement {
+        let early = matches!(
+            place,
+            crate::ir::FilterPlacement::PostMap | crate::ir::FilterPlacement::Acquire
+        );
+        if !early {
+            continue;
+        }
+        let locus = Locus::Step(filter.locus_name());
+        if !pure {
+            report.push(Diagnostic::new(
+                Code::PlanLossyPushdown,
+                locus.clone(),
+                format!(
+                    "filter for src{source} is placed at {} but the predicate is not proven pure",
+                    place.name()
+                ),
+            ));
+            continue;
+        }
+        if ir.scan_barrier {
+            report.push(Diagnostic::new(
+                Code::PlanLossyPushdown,
+                locus.clone(),
+                format!(
+                    "filter for src{source} is placed at {} ahead of the containment scan \
+                     barrier: early row drops would change quarantine decisions",
+                    place.name()
+                ),
+            ));
+        }
+        if matches!(place, crate::ir::FilterPlacement::Acquire) {
+            for column in &columns {
+                let fact = Fact::CellExactBinding {
+                    source: *source,
+                    column: column.clone(),
+                };
+                if !facts.contains(&fact) {
+                    report.push(Diagnostic::new(
+                        Code::PlanLossyPushdown,
+                        locus.clone(),
+                        format!(
+                            "filter for src{source} is pushed to acquisition across a lossy or \
+                             uncertified binding of `{column}`: raw and mapped verdicts can \
+                             diverge"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Record a [`Fact::CellExactBinding`] for every map binding the lowering
+/// certified.
+fn collect_cell_exact(ir: &PlanIr, facts: &mut Vec<Fact>) {
+    for node in ir.map_nodes() {
+        let OpKind::Map {
+            source, cell_exact, ..
+        } = &node.kind
+        else {
+            continue;
+        };
+        for (j, exact) in cell_exact.iter().enumerate() {
+            if *exact {
+                if let Some(c) = ir.target.get(j) {
+                    facts.push(Fact::CellExactBinding {
+                        source: *source,
+                        column: c.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Pass 5 — cross-source common-subexpression detection. Two map nodes over
+/// the same source with equal fingerprints duplicate work (L303); two or
+/// more map nodes aligning against the shared target sample make its
+/// profiling a common input ([`Fact::CommonMapInput`]).
+fn duplicate_maps(ir: &PlanIr, facts: &mut Vec<Fact>, report: &mut Report) {
+    let maps: Vec<&OpNode> = ir.map_nodes().collect();
+    let mut sources: Vec<usize> = Vec::new();
+    for (i, a) in maps.iter().enumerate() {
+        let OpKind::Map {
+            source: sa,
+            fingerprint: fa,
+            ..
+        } = &a.kind
+        else {
+            continue;
+        };
+        sources.push(*sa);
+        for b in maps.iter().skip(i + 1) {
+            let OpKind::Map {
+                source: sb,
+                fingerprint: fb,
+                ..
+            } = &b.kind
+            else {
+                continue;
+            };
+            if sa == sb && fa == fb {
+                report.push(Diagnostic::new(
+                    Code::PlanDuplicateMapWork,
+                    Locus::Step(b.locus_name()),
+                    format!(
+                        "map of src{sb} duplicates the work of {} (same source, same \
+                         schema fingerprint)",
+                        a.locus_name()
+                    ),
+                ));
+            }
+        }
+    }
+    sources.sort_unstable();
+    sources.dedup();
+    if sources.len() >= 2 {
+        facts.push(Fact::CommonMapInput { sources });
+    }
+}

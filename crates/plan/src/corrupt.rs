@@ -1,0 +1,136 @@
+//! Seeded whole-plan defect injection (experiment E12's plan classes).
+//!
+//! The mapping-level injector in `wrangler-lint::corrupt` corrupts one
+//! artifact in isolation; the three classes here corrupt *relationships
+//! between operators* that only whole-plan analysis can see — a fuse
+//! liveness mask contradicting the output projection, a filter pushed below
+//! an uncertified cast, a duplicated map operator. Injection is a pure
+//! function of `(plan, class, seed)`, drawing from the same splitmix64
+//! stream family as the mapping injector.
+
+use wrangler_lint::{DefectClass, Split};
+use wrangler_table::CastSafety;
+
+use crate::ir::{predicate_columns, FilterPlacement, OpKind, PlanIr};
+
+/// Inject `class` into a copy of `ir`. Returns `None` when the plan offers
+/// no injection site for the class (e.g. lossy pushdown on a plan with no
+/// filter) or when `class` is not a whole-plan class.
+pub fn inject_plan_defect(ir: &PlanIr, class: DefectClass, seed: u64) -> Option<PlanIr> {
+    let mut rng = Split::new(seed);
+    let mut ir = ir.clone();
+    match class {
+        DefectClass::DeadColumnConsumed => {
+            // Mark a column the output projection consumes as dead at fuse.
+            let output = match &ir.assemble_node()?.kind {
+                OpKind::Assemble { output } => output.clone(),
+                _ => return None,
+            };
+            let sites: Vec<usize> = output
+                .iter()
+                .filter_map(|name| ir.target_index(name))
+                .collect();
+            let site = *sites.get(rng.below(sites.len()))?;
+            let fuse_id = ir.fuse_node()?.id;
+            match &mut ir.nodes[fuse_id].kind {
+                OpKind::Fuse { live } if site < live.len() => live[site] = false,
+                _ => return None,
+            }
+            Some(ir)
+        }
+        DefectClass::LossyPushdown => {
+            // Force one source's filter below a binding whose cell-exactness
+            // certificate is revoked (the cast degraded to lossy).
+            let filter_id = ir.filter_node()?.id;
+            let (source, column) = match &ir.nodes[filter_id].kind {
+                OpKind::Filter {
+                    predicate,
+                    placement,
+                } => {
+                    let columns = predicate_columns(predicate);
+                    let (source, _) = *placement.get(rng.below(placement.len()))?;
+                    let column = columns.get(rng.below(columns.len()))?.clone();
+                    (source, column)
+                }
+                _ => return None,
+            };
+            let site = ir.target_index(&column)?;
+            let map_id = ir
+                .map_nodes()
+                .find(|n| n.kind.source() == Some(source))?
+                .id;
+            match &mut ir.nodes[map_id].kind {
+                OpKind::Map {
+                    casts, cell_exact, ..
+                } if site < cell_exact.len() => {
+                    cell_exact[site] = false;
+                    casts[site] = CastSafety::Lossy;
+                }
+                _ => return None,
+            }
+            match &mut ir.nodes[filter_id].kind {
+                OpKind::Filter { placement, .. } => {
+                    let slot = placement.iter_mut().find(|(s, _)| *s == source)?;
+                    slot.1 = FilterPlacement::Acquire;
+                }
+                _ => return None,
+            }
+            Some(ir)
+        }
+        DefectClass::DuplicateMapWork => {
+            // Append a second map operator over the same acquired source.
+            let maps: Vec<usize> = ir.map_nodes().map(|n| n.id).collect();
+            let site = *maps.get(rng.below(maps.len()))?;
+            let mut dup = ir.nodes[site].clone();
+            dup.id = ir.nodes.len();
+            ir.nodes.push(dup);
+            Some(ir)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::fixture::clean_plan;
+    use wrangler_lint::Code;
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let ir = clean_plan();
+        for class in DefectClass::PLAN_CLASSES {
+            let a = inject_plan_defect(&ir, class, 11);
+            let b = inject_plan_defect(&ir, class, 11);
+            assert_eq!(a, b, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn each_plan_class_yields_its_code() {
+        let ir = clean_plan();
+        let baseline = analyze(&ir).report;
+        assert!(baseline.is_clean(), "{baseline:?}");
+        for (class, code) in [
+            (DefectClass::DeadColumnConsumed, Code::PlanDeadColumn),
+            (DefectClass::LossyPushdown, Code::PlanLossyPushdown),
+            (DefectClass::DuplicateMapWork, Code::PlanDuplicateMapWork),
+        ] {
+            let bad = inject_plan_defect(&ir, class, 7).expect("site exists");
+            let report = analyze(&bad).report;
+            assert!(report.has_code(code), "{class:?}: {report:?}");
+            assert!(
+                !report.newly_versus(&baseline).is_empty(),
+                "{class:?} must add findings over baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_classes_have_no_plan_site() {
+        let ir = clean_plan();
+        assert!(inject_plan_defect(&ir, DefectClass::DtypeFlip, 3).is_none());
+        assert!(inject_plan_defect(&ir, DefectClass::UnbindAll, 3).is_none());
+    }
+}

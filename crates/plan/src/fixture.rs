@@ -1,0 +1,140 @@
+//! A small, fully clean plan fixture shared by this crate's tests, the
+//! proptests, and experiment code that needs an IR without standing up a
+//! whole wrangling session.
+
+use wrangler_table::{CastSafety, DataType, Expr};
+
+use crate::ir::{fingerprint_map, ColType, Effects, OpKind, OpNode, PlanIr};
+use crate::FilterPlacement;
+
+/// A clean two-source plan: drifted source schemas mapped into a five-column
+/// target, a pure category filter, ER over `sku`/`name`, and a three-column
+/// output projection. Analysis over it is clean and every optimizer rewrite
+/// has a site.
+pub fn clean_plan() -> PlanIr {
+    let target = vec![
+        ColType::new("sku", DataType::Str, false),
+        ColType::new("name", DataType::Str, false),
+        ColType::new("brand", DataType::Str, true),
+        ColType::new("category", DataType::Str, false),
+        ColType::new("price", DataType::Float, true),
+    ];
+    let source_schema = |prefix: &str| {
+        vec![
+            ColType::new(format!("{prefix}_code"), DataType::Str, false),
+            ColType::new(format!("{prefix}_title"), DataType::Str, false),
+            ColType::new(format!("{prefix}_cat"), DataType::Str, false),
+            ColType::new(format!("{prefix}_cost"), DataType::Float, true),
+        ]
+    };
+    // target ← source: sku←0, name←1, brand unbound, category←2, price←3.
+    let bindings = vec![Some(0), Some(1), None, Some(2), Some(3)];
+    let casts = vec![CastSafety::Lossless; 5];
+    let cell_exact = vec![true, true, false, true, true];
+    let det = Effects::default();
+    let pooled = Effects {
+        parallel: true,
+        merge_ordered: true,
+        ..Effects::default()
+    };
+    let hashed = Effects {
+        hash_iteration: true,
+        order_normalized: true,
+        ..Effects::default()
+    };
+
+    let mut nodes = Vec::new();
+    nodes.push(OpNode {
+        id: 0,
+        kind: OpKind::Select {
+            strategy: "greedy-utility".into(),
+        },
+        inputs: vec![],
+        schema: vec![],
+        effects: det,
+    });
+    let mut map_ids = Vec::new();
+    for source in 0..2usize {
+        let schema = source_schema(&format!("s{source}"));
+        let acquire_id = nodes.len();
+        nodes.push(OpNode {
+            id: acquire_id,
+            kind: OpKind::Acquire {
+                source,
+                name: format!("s{source}"),
+            },
+            inputs: vec![0],
+            schema: schema.clone(),
+            effects: det,
+        });
+        let map_id = nodes.len();
+        nodes.push(OpNode {
+            id: map_id,
+            kind: OpKind::Map {
+                source,
+                bindings: bindings.clone(),
+                casts: casts.clone(),
+                cell_exact: cell_exact.clone(),
+                fingerprint: fingerprint_map(&schema, &bindings),
+            },
+            inputs: vec![acquire_id],
+            schema: vec![],
+            effects: pooled,
+        });
+        map_ids.push(map_id);
+    }
+    let filter_id = nodes.len();
+    nodes.push(OpNode {
+        id: filter_id,
+        kind: OpKind::Filter {
+            predicate: Expr::col("category").eq(Expr::lit("home")),
+            placement: vec![(0, FilterPlacement::Union), (1, FilterPlacement::Union)],
+        },
+        inputs: map_ids.clone(),
+        schema: vec![],
+        effects: det,
+    });
+    let union_id = nodes.len();
+    nodes.push(OpNode {
+        id: union_id,
+        kind: OpKind::Union { arity: 2 },
+        inputs: vec![filter_id],
+        schema: vec![],
+        effects: det,
+    });
+    let er_id = nodes.len();
+    nodes.push(OpNode {
+        id: er_id,
+        kind: OpKind::Er {
+            columns: vec!["sku".into(), "name".into()],
+            threshold: 0.8,
+        },
+        inputs: vec![union_id],
+        schema: vec![],
+        effects: hashed,
+    });
+    let fuse_id = nodes.len();
+    nodes.push(OpNode {
+        id: fuse_id,
+        kind: OpKind::Fuse {
+            live: vec![true; 5],
+        },
+        inputs: vec![er_id],
+        schema: vec![],
+        effects: hashed,
+    });
+    nodes.push(OpNode {
+        id: fuse_id + 1,
+        kind: OpKind::Assemble {
+            output: vec!["sku".into(), "name".into(), "price".into()],
+        },
+        inputs: vec![fuse_id],
+        schema: vec![],
+        effects: det,
+    });
+    PlanIr {
+        target,
+        nodes,
+        scan_barrier: false,
+    }
+}

@@ -23,6 +23,13 @@
 #      return a structured `TableError` instead, or justify a true
 #      invariant with a `lint-allow: <reason>` comment.
 #
+#   5. No `OpKind::` in `wrangler-core` outside the lowering module. Plan
+#      IR nodes built ad hoc bypass the analyzer and the proof-carrying
+#      optimizer's fact base; `crates/core/src/lower.rs` is the single
+#      sanctioned constructor site (the rest of the core consumes the
+#      compiled program through its decision API, never raw nodes).
+#      Justify a true exception with a `lint-allow: <reason>` comment.
+#
 # Scanning stops at the first `#[cfg(test)]` in a file: this repo keeps test
 # modules at the end of each source file.
 set -euo pipefail
@@ -142,6 +149,33 @@ bare_panic_hits=$(for f in $(lib_sources); do scan_bare_panics "$f"; done)
 if [ -n "$bare_panic_hits" ]; then
   echo "lint: bare panic!/unreachable!/todo!/unimplemented! in library code (return a structured TableError, or add \`// lint-allow: <reason>\` for a true invariant):"
   echo "$bare_panic_hits"
+  fail=1
+fi
+
+# --- Rule 5: OpKind construction outside the lowering module ------------------
+# The typed plan IR has exactly one constructor site in the core; everything
+# else consumes the compiled PlanProgram through its decision API. A raw
+# OpKind anywhere else in wrangler-core means a node the analyzer never saw.
+scan_opkind() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }  # comment / doc-example lines
+    /OpKind::/ {
+      if ($0 !~ /lint-allow:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+    }
+  ' "$f"
+}
+
+opkind_hits=$(for f in $(find crates/core/src -name '*.rs' | sort); do
+  [ "$f" = "crates/core/src/lower.rs" ] && continue
+  scan_opkind "$f"
+done)
+if [ -n "$opkind_hits" ]; then
+  echo "lint: OpKind:: constructed in wrangler-core outside crates/core/src/lower.rs (lower there, or add \`// lint-allow: <reason>\`):"
+  echo "$opkind_hits"
   fail=1
 fi
 

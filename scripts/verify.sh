@@ -49,4 +49,13 @@ echo "==> e15 containment (full run + count/report determinism)"
 ./target/release/e15_containment --counts > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
+echo "==> e16 plan optimization (full run + count/rewrite-ledger determinism)"
+./target/release/e16_plan_opt
+./target/release/e16_plan_opt --counts > "$tmp_a"
+./target/release/e16_plan_opt --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
+echo "==> lint baseline ratchet (new findings vs lint-baseline.json fail)"
+./target/release/lint_gate
+
 echo "verify: all green"
