@@ -8,7 +8,11 @@
 //! Protocol: per fleet size, build a fresh session and wrangle once with
 //! telemetry on, recording per-stage wall-clock shares from the span tree.
 //! For the overhead measurement, run `REPS` fresh sessions per mode on the
-//! largest fleet and compare median wall clock On vs Off. Timings are
+//! largest fleet and compare **best-of-REPS** wall clock On vs Off — the
+//! estimator E14 uses. The median was noisy enough on this workload to
+//! report a *negative* overhead (-7.6% in one run): scheduling jitter per
+//! rep exceeds the actual telemetry cost, and the minimum is the standard
+//! low-noise estimator of a run's intrinsic cost. Timings are
 //! wall-clock and therefore vary run to run; the *count* half of the metrics
 //! report is a pure function of the seeded data flow. `--counts` prints only
 //! that half, and CI double-runs it to assert byte-identical output. A full
@@ -50,18 +54,18 @@ fn build(num_sources: usize, mode: ObsMode) -> Wrangler {
     session(&f, UserContext::balanced("e13")).with_obs_mode(mode)
 }
 
-/// Median wall-clock seconds of `REPS` fresh wrangles under `mode`.
-fn median_wall(num_sources: usize, mode: ObsMode) -> f64 {
-    let mut walls: Vec<f64> = (0..REPS)
+/// Best (minimum) wall-clock seconds of `REPS` fresh wrangles under `mode`.
+/// Best-of-N, as E14: the minimum estimates intrinsic cost; the median still
+/// carries enough scheduler jitter to swamp a few-percent overhead signal.
+fn best_wall(num_sources: usize, mode: ObsMode) -> f64 {
+    (0..REPS)
         .map(|_| {
             let mut w = build(num_sources, mode);
             let t = Instant::now();
             w.wrangle().expect("seeded workload wrangles"); // lint-allow: experiment fixture
             t.elapsed().as_secs_f64()
         })
-        .collect();
-    walls.sort_by(f64::total_cmp);
-    walls[walls.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -129,11 +133,11 @@ fn main() {
 
     // --- Overhead: On vs Off on the largest workload ------------------------
     let big = *FLEET_SIZES.last().expect("const non-empty"); // lint-allow: const fixture
-    let off = median_wall(big, ObsMode::Off);
-    let on = median_wall(big, ObsMode::On);
+    let off = best_wall(big, ObsMode::Off);
+    let on = best_wall(big, ObsMode::On);
     let overhead = if off > 0.0 { on / off - 1.0 } else { 0.0 };
     println!(
-        "\noverhead at {big} sources (median of {REPS} fresh sessions):\n  \
+        "\noverhead at {big} sources (best of {REPS} fresh sessions):\n  \
          off = {:.1} ms, on = {:.1} ms, overhead = {:+.2}%  (budget: <5%)",
         off * 1e3,
         on * 1e3,

@@ -31,8 +31,6 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
 
 use wrangler_sources::SourceId;
 use wrangler_table::{TableError, Value};
@@ -407,45 +405,10 @@ pub enum Guarded<T> {
     Fatal(TableError),
 }
 
-thread_local! {
-    static MUTE_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-static HOOK_INIT: Once = Once::new();
-
-/// Install (once) a panic hook that suppresses output for panics caught by
-/// [`catch_quiet`], delegating everything else to the previous hook.
-fn install_quiet_hook() {
-    HOOK_INIT.call_once(|| {
-        let prev = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if !MUTE_PANICS.with(std::cell::Cell::get) {
-                prev(info);
-            }
-        }));
-    });
-}
-
-/// Run `f`, catching any panic and returning its message as `Err`. The
-/// default hook is muted for the duration so caught panics do not spray
-/// backtraces over experiment output.
-pub fn catch_quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
-    install_quiet_hook();
-    MUTE_PANICS.with(|m| m.set(true));
-    let result = panic::catch_unwind(AssertUnwindSafe(f));
-    MUTE_PANICS.with(|m| m.set(false));
-    result.map_err(|payload| panic_message(&*payload))
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
+// The panic-to-message adapter now lives in `wrangler_table::par` so the
+// compute kernels in leaf crates (resolve, fusion) can use it for per-item
+// isolation; re-exported here for the containment layer's callers.
+pub use wrangler_table::par::{catch_quiet, panic_message};
 
 /// Scan one row for payloads the pipeline must not ingest. Returns the
 /// reason when poisoned. Newlines/tabs/CRs are legitimate in text cells;

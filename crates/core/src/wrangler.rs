@@ -9,7 +9,7 @@ use wrangler_feedback::{
 };
 use wrangler_fusion::strategies::{fuse_attribute, FusedValue, SourceContext};
 use wrangler_fusion::truthfinder::{truthfinder, TruthFinderConfig};
-use wrangler_fusion::ClaimSet;
+use wrangler_fusion::{ClaimSet, FuseKernel, MIN_SLOTS_PER_WORKER};
 use wrangler_lint::{GateMode, Report as LintReport};
 use wrangler_mapping::{generate_mapping, generate_mapping_with_profiles, Mapping};
 use wrangler_match::{profile_table, MatchConfig};
@@ -25,6 +25,7 @@ use wrangler_sources::{
     SourceRegistry,
 };
 use wrangler_plan::{FilterPlacement, OptMode, PlanProgram};
+use wrangler_table::par;
 use wrangler_table::{ops, DataType, Expr, Schema, Table, TableError, Value};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
@@ -157,6 +158,9 @@ pub struct Wrangler {
     /// Worker-count override for the ER scoring pool (`None` = hardware
     /// parallelism). Output is identical for any value; experiments pin it.
     er_workers: Option<usize>,
+    /// Worker-count override for the fuse-slot pool (`None` = hardware
+    /// parallelism). Output is identical for any value; experiments pin it.
+    fuse_workers: Option<usize>,
     match_cfg: MatchConfig,
     now: u64,
     cache: Option<WrangleCache>,
@@ -213,6 +217,7 @@ impl Wrangler {
             states: Vec::new(),
             er_cfg,
             er_workers: None,
+            fuse_workers: None,
             match_cfg: MatchConfig::default(),
             now: 0,
             cache: None,
@@ -314,6 +319,14 @@ impl Wrangler {
         self
     }
 
+    /// Pin the fuse-slot pool to `workers` threads (default: hardware
+    /// parallelism). Fused values are byte-identical for any worker count —
+    /// this knob trades wall-clock only (E14's fuse sweep axis).
+    pub fn with_fuse_workers(mut self, workers: usize) -> Wrangler {
+        self.fuse_workers = Some(workers.max(1));
+        self
+    }
+
     /// Set the pre-flight static-analysis gate mode (default: `Deny`).
     pub fn with_lint_gate(mut self, mode: GateMode) -> Wrangler {
         self.lint_gate = mode;
@@ -337,6 +350,17 @@ impl Wrangler {
     /// The current pre-flight gate mode.
     pub fn lint_gate(&self) -> GateMode {
         self.lint_gate
+    }
+
+    /// The last wrangle's fusion inputs — claim set, source context and the
+    /// planned strategy — for benchmarks and tests that drive the fuse
+    /// kernel directly (E14's fuse scaling sweep). `None` before the first
+    /// wrangle.
+    pub fn fusion_inputs(
+        &self,
+    ) -> Option<(&ClaimSet, &SourceContext, wrangler_fusion::Strategy)> {
+        let cache = self.cache.as_ref()?;
+        Some((&cache.claims, &cache.source_ctx, self.plan().fusion))
     }
 
     /// Findings of the last pre-flight pass, labelled by origin (`"plan"` or
@@ -716,81 +740,50 @@ impl Wrangler {
             let shared_profiles = (self.opt_mode == OptMode::Optimized && inputs.len() >= 2)
                 .then(|| profile_table(sample));
             let shared_profiles = shared_profiles.as_deref();
-            let timed = self.obs.is_on();
             type GenItem = (usize, Result<Mapping, String>);
-            type WorkerStats = Vec<(u64, u128)>;
-            let (generated, worker_stats): (Vec<GenItem>, WorkerStats) =
-                std::thread::scope(|scope| {
-                    let workers = std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4)
-                        .min(inputs.len().max(1));
-                    let inputs = &inputs;
-                    // Strided pickup: worker w takes items w, w+workers,
-                    // w+2·workers, … Chunking by ⌈len/workers⌉ can leave
-                    // whole workers idle (5 inputs / 4 workers → chunks of 2
-                    // → only 3 threads busy); strides spread any input count
-                    // over every spawned worker, and keep each worker's item
-                    // set deterministic for the per-worker metrics.
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            scope.spawn(move || {
-                                let started = timed.then(std::time::Instant::now);
-                                // Each item runs under its own catch: one
-                                // poisonous source quarantines itself, not
-                                // its whole worker's chunk.
-                                let out: Vec<GenItem> = inputs
-                                    .iter()
-                                    .skip(w)
-                                    .step_by(workers)
-                                    .map(|&(i, table, chaos_hit)| {
-                                        let res = catch_quiet(|| {
-                                            if chaos_hit {
-                                                panic!("chaos: injected map_generate panic"); // lint-allow: deterministic chaos injection, caught one line up
-                                            }
-                                            match shared_profiles {
-                                                Some(profiles) => generate_mapping_with_profiles(
-                                                    table,
-                                                    target,
-                                                    sample,
-                                                    profiles,
-                                                    Some(ontology),
-                                                    match_cfg,
-                                                ),
-                                                None => generate_mapping(
-                                                    table,
-                                                    target,
-                                                    sample,
-                                                    Some(ontology),
-                                                    match_cfg,
-                                                ),
-                                            }
-                                        });
-                                        (i, res)
-                                    })
-                                    .collect();
-                                let busy = started.map_or(0, |t| t.elapsed().as_nanos());
-                                (out, busy)
-                            })
-                        })
-                        .collect();
-                    let mut out = Vec::new();
-                    let mut stats = WorkerStats::new();
-                    for h in handles {
-                        // Backstop: the per-item catch above means a worker
-                        // thread itself can no longer die mid-chunk, but if
-                        // it somehow does, fail structured, not cascading.
-                        let (chunk, busy) = h.join().map_err(|_| {
-                            TableError::Unavailable("schema-matching worker panicked".into())
-                        })?;
-                        stats.push((chunk.len() as u64, busy));
-                        out.extend(chunk);
-                    }
-                    Ok::<_, TableError>((out, stats))
-                })?;
-            for (w, (items, busy)) in worker_stats.iter().enumerate() {
-                self.obs.count(&format!("map.worker{w}.items"), *items);
-                self.obs.record_nanos(&format!("worker{w}"), *busy, 1);
+            // Blocked fan-out (wrangler_table::par): contiguous chunks keep
+            // each worker on adjacent sources and reassembly in chunk order
+            // keeps the per-worker metrics and output deterministic. One
+            // mapping generation is milliseconds of work, so the threshold
+            // is 1 item per worker.
+            let workers = par::effective_workers(par::available_parallelism(), inputs.len(), 1);
+            let (chunks, worker_stats) = par::run_blocked(&inputs, workers, |_, chunk| {
+                // Each item runs under its own catch: one poisonous source
+                // quarantines itself, not its whole worker's chunk.
+                chunk
+                    .iter()
+                    .map(|&(i, table, chaos_hit)| {
+                        let res = catch_quiet(|| {
+                            if chaos_hit {
+                                panic!("chaos: injected map_generate panic"); // lint-allow: deterministic chaos injection, caught one line up
+                            }
+                            match shared_profiles {
+                                Some(profiles) => generate_mapping_with_profiles(
+                                    table,
+                                    target,
+                                    sample,
+                                    profiles,
+                                    Some(ontology),
+                                    match_cfg,
+                                ),
+                                None => {
+                                    generate_mapping(table, target, sample, Some(ontology), match_cfg)
+                                }
+                            }
+                        });
+                        (i, res)
+                    })
+                    .collect::<Vec<GenItem>>()
+            })
+            // Backstop: the per-item catch above means a worker thread can no
+            // longer die mid-chunk, but if it somehow does, fail structured.
+            .map_err(|msg| {
+                TableError::Unavailable(format!("schema-matching worker panicked: {msg}"))
+            })?;
+            let generated: Vec<GenItem> = chunks.into_iter().flatten().collect();
+            for (w, s) in worker_stats.iter().enumerate() {
+                self.obs.count(&format!("map.worker{w}.items"), s.items);
+                self.obs.record_nanos(&format!("worker{w}"), s.busy_nanos, 1);
             }
             let mut generated_ok = 0u64;
             for (i, res) in generated {
@@ -1382,12 +1375,25 @@ impl Wrangler {
         let mut fused: HashMap<(usize, usize), FusedValue> = HashMap::new();
         let mut slots_fused = 0u64;
         let mut slots_skipped = 0u64;
+        // Partition the slots: dead columns are skipped outright (the
+        // `skip-dead-fusion` rewrite), slots pinned by a confirmation or
+        // constrained by vetoes take the feedback-aware serial path, and
+        // the plain majority go through the precompiled FuseKernel over the
+        // blocked worker pool.
+        let mut special_slots: Vec<(usize, usize)> = Vec::new();
+        let mut plain_slots: Vec<(usize, usize)> = Vec::new();
         for (e, a) in claims.slots() {
             if live_mask.as_ref().is_some_and(|m| !m[a]) {
                 slots_skipped += 1;
                 self.working.mark_clean(Artifact::FusedSlot(e, a));
-                continue;
+            } else if self.confirmations.contains_key(&(e, a)) || self.vetoes.contains_key(&(e, a))
+            {
+                special_slots.push((e, a));
+            } else {
+                plain_slots.push((e, a));
             }
+        }
+        for &(e, a) in &special_slots {
             // Per-slot isolation: a fusion strategy that panics on one
             // pathological slot costs that slot (delivered as Null), not
             // the pass.
@@ -1414,6 +1420,53 @@ impl Wrangler {
             slots_fused += 1;
             self.working.work.slots_fused += 1;
             self.working.mark_clean(Artifact::FusedSlot(e, a));
+        }
+        // Plain slots: per-source weights/decays are compiled once per pass,
+        // then slots fuse in contiguous blocked chunks — bit-identical to
+        // the serial fuse_attribute path for any worker count. Worker panics
+        // surface per slot (catch inside the chunk) so one pathological slot
+        // cannot take down its chunk; a panic escaping the pool itself is
+        // the structured-error backstop, as in the ER kernel.
+        let fuse_kernel = FuseKernel::compile(&claims, plan.fusion, &source_ctx);
+        let requested = self.fuse_workers.unwrap_or_else(par::available_parallelism);
+        let workers = par::effective_workers(requested, plain_slots.len(), MIN_SLOTS_PER_WORKER);
+        let contained = !policy.is_off();
+        let (chunks, fuse_worker_stats) = par::run_blocked(&plain_slots, workers, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&(e, a)| {
+                    if contained {
+                        catch_quiet(|| fuse_kernel.fuse_slot(e, a))
+                    } else {
+                        Ok(fuse_kernel.fuse_slot(e, a))
+                    }
+                })
+                .collect::<Vec<Result<Option<FusedValue>, String>>>()
+        })
+        .map_err(|msg| TableError::Unavailable(format!("fuse worker panicked: {msg}")))?;
+        for (&(e, a), res) in plain_slots.iter().zip(chunks.into_iter().flatten()) {
+            match res {
+                Ok(Some(f)) => {
+                    fused.insert((e, a), f);
+                }
+                Ok(None) => {}
+                Err(msg) => {
+                    creport.caught_panic(Stage::Fuse);
+                    if policy.mode != ContainMode::Contain {
+                        self.obs.end();
+                        return Err(TableError::Unavailable(format!(
+                            "fuse slot ({e},{a}) panicked: {msg}"
+                        )));
+                    }
+                }
+            }
+            slots_fused += 1;
+            self.working.work.slots_fused += 1;
+            self.working.mark_clean(Artifact::FusedSlot(e, a));
+        }
+        for (w, st) in fuse_worker_stats.iter().enumerate() {
+            self.obs.count(&format!("fuse.worker{w}.items"), st.items);
+            self.obs.record_nanos(&format!("worker{w}"), st.busy_nanos, 1);
         }
         self.obs.count("fuse.slots", slots_fused);
         self.obs.count("fuse.slots_skipped", slots_skipped);
@@ -1490,11 +1543,9 @@ impl Wrangler {
                 }
             }
         }
-        let workers = self.er_workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
+        // The kernel's pool-sizing policy (cores cap + MIN_PAIRS_PER_WORKER)
+        // applies on top of the requested width.
+        let workers = self.er_workers.unwrap_or_else(par::available_parallelism);
         let (miss_scores, worker_stats) = kernel.score_pairs_parallel(&miss_pairs, workers)?;
         for ((k, ck), &s) in miss_slots.into_iter().zip(&miss_scores) {
             scores[k] = s;
@@ -2938,6 +2989,73 @@ mod tests {
             a.metrics.counts["er.match_pairs"],
             b.metrics.counts["er.match_pairs"]
         );
+    }
+
+    #[test]
+    fn fuse_output_is_identical_for_any_worker_count() {
+        let fleet = small_fleet();
+        let mut one = session(&fleet, UserContext::balanced("t")).with_fuse_workers(1);
+        let mut five = session(&fleet, UserContext::balanced("t")).with_fuse_workers(5);
+        let a = one.wrangle().unwrap();
+        let b = five.wrangle().unwrap();
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.metrics.counts["fuse.slots"], b.metrics.counts["fuse.slots"]);
+        // Per-worker fuse counters sum to the slots the kernel fused (no
+        // confirmations/vetoes here, so every live slot is a kernel slot).
+        for m in [&a.metrics, &b.metrics] {
+            let worker_items: Vec<u64> = m
+                .counts
+                .iter()
+                .filter(|(k, _)| k.starts_with("fuse.worker") && k.ends_with(".items"))
+                .map(|(_, v)| *v)
+                .collect();
+            assert!(!worker_items.is_empty());
+            assert_eq!(worker_items.iter().sum::<u64>(), m.counts["fuse.slots"]);
+            assert!(
+                worker_items.iter().all(|&n| n > 0),
+                "no worker may be idle: {worker_items:?}"
+            );
+        }
+    }
+
+    /// PR 5 semantics survive the parallel fuse kernel: a fuse-stage chaos
+    /// panic quarantines the rolled source *by name* before its claims enter
+    /// the claim set, and the pass completes on survivors — with the slot
+    /// pool running multi-worker.
+    #[test]
+    fn fuse_chaos_panic_is_contained_and_names_the_source_with_parallel_kernel() {
+        use crate::contain::ChaosPolicy;
+        let fleet = small_fleet();
+        let chaos = ChaosPolicy::new(0.3, 2).at_stage(Stage::Fuse);
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_fuse_workers(5)
+            .with_contain_policy(ContainPolicy::contain().with_chaos(chaos));
+        let out = w.wrangle().unwrap();
+        let quarantined = out.containment.quarantined_sources();
+        assert!(!quarantined.is_empty(), "chaos must hit at this seed/rate");
+        for e in &out.containment.quarantines {
+            assert_eq!(e.stage, Stage::Fuse);
+            assert!(e.reason.contains("panicked"), "{}", e.reason);
+        }
+        assert!(out.containment.tallies(Stage::Fuse).panics_caught > 0);
+        // Survivors complete the pass; the quarantined sources are named
+        // and excluded.
+        assert!(!out.selected_sources.is_empty());
+        for id in &quarantined {
+            assert!(!out.selected_sources.contains(id), "{id:?} still selected");
+        }
+        assert!(out.entities > 0);
+        // A clean run with the same worker count delivers identical output
+        // minus the quarantined sources' claims — and a chaos-free session
+        // is byte-deterministic.
+        let chaos2 = ChaosPolicy::new(0.3, 2).at_stage(Stage::Fuse);
+        let mut w2 = session(&fleet, UserContext::balanced("t"))
+            .with_fuse_workers(5)
+            .with_contain_policy(ContainPolicy::contain().with_chaos(chaos2));
+        let out2 = w2.wrangle().unwrap();
+        assert_eq!(out.containment.render(), out2.containment.render());
+        assert_eq!(out.table, out2.table);
     }
 
     #[test]

@@ -14,10 +14,12 @@ pub struct SourceContext {
 }
 
 impl SourceContext {
-    fn trust_of(&self, s: usize) -> f64 {
+    /// Trust in source `s` (uniform 0.5 when unknown).
+    pub fn trust_of(&self, s: usize) -> f64 {
         self.trust.get(s).copied().unwrap_or(0.5)
     }
-    fn age_of(&self, s: usize) -> u64 {
+    /// Age of source `s`'s data in ticks (0 when unknown).
+    pub fn age_of(&self, s: usize) -> u64 {
         self.age.get(s).copied().unwrap_or(0)
     }
 }

@@ -17,19 +17,35 @@
 //! The arithmetic mirrors the serial path operation for operation, so kernel
 //! scores are **bit-identical** to [`record_similarity`] — the
 //! `parallel_kernel_equals_serial_match_pairs` proptest holds for any worker
-//! count. Parallel scoring uses the same deterministic strided pickup as the
-//! schema-matching pool (worker `w` takes candidates `w, w+workers, …`) and
-//! reassembles results in candidate order, so the output does not depend on
-//! scheduling.
+//! count. Parallel scoring splits the candidate list into *contiguous
+//! blocked chunks* (worker `w` scores `candidates[start_w..end_w]`, chunks
+//! balanced to within one pair) and reassembles them in chunk order, so the
+//! output does not depend on scheduling. Blocked pickup is deliberate: the
+//! strided fan-out it replaced (worker `w` takes candidates
+//! `w, w+workers, …`) interleaved every worker through the whole candidate
+//! range and destroyed the per-row cell locality the kernel was compiled
+//! for — BENCH_e14 measured it as *negative* scaling. The pool is also
+//! sized by [`wrangler_table::par::effective_workers`]: never wider than
+//! the machine's cores, and never so wide that a worker gets fewer than
+//! [`MIN_PAIRS_PER_WORKER`] pairs — tiny candidate sets (e.g. the handful
+//! of cache misses of an incremental pass) run serially instead of paying
+//! thread-spawn latency.
 //!
 //! [`record_similarity`]: crate::sim::record_similarity
 
 use std::time::Instant;
 
+use wrangler_table::par::{self, effective_workers};
+pub use wrangler_table::par::WorkerStat;
 use wrangler_table::{Table, TableError, Value};
 
 use crate::sim::{ErConfig, SimKind};
 use crate::ScoredPair;
+
+/// Minimum candidate pairs per worker before the pool widens by one thread.
+/// A pair costs on the order of a microsecond; a thread spawn costs tens of
+/// them — below this floor the spawn never pays for itself.
+pub const MIN_PAIRS_PER_WORKER: usize = 512;
 
 /// Per-row precomputation for one text field.
 #[derive(Debug, Clone)]
@@ -102,16 +118,6 @@ struct SimScratch {
     /// Myers bit-parallel `levenshtein`: per-symbol pattern bitmasks (256
     /// entries, zeroed after each use so reuse equals a fresh table).
     peq: Vec<u64>,
-}
-
-/// Per-worker accounting of one parallel scoring pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStat {
-    /// Candidate pairs this worker scored.
-    pub items: u64,
-    /// Wall-clock the worker spent busy, in nanoseconds (honest timing —
-    /// nondeterministic, feed it only to the timing half of telemetry).
-    pub busy_nanos: u128,
 }
 
 /// An [`ErConfig`] precompiled against one table: column names resolved,
@@ -214,12 +220,29 @@ impl ErKernel {
             .collect()
     }
 
-    /// Score `pairs` across `workers` threads with deterministic strided
-    /// pickup (worker `w` scores pairs `w, w+workers, …`). The returned
-    /// scores are in pair order and bit-identical for any worker count;
-    /// per-worker stats report items and busy wall-clock. A panicking worker
-    /// becomes a structured error.
+    /// Score `pairs` across a blocked worker pool sized by
+    /// [`effective_workers`] — `workers` is a *request*, clamped to the
+    /// machine's cores and to one thread per [`MIN_PAIRS_PER_WORKER`] pairs.
+    /// The returned scores are in pair order and bit-identical for any
+    /// requested width; per-worker stats report items and busy wall-clock.
+    /// A panicking worker becomes a structured error.
     pub fn score_pairs_parallel(
+        &self,
+        pairs: &[(usize, usize)],
+        workers: usize,
+    ) -> wrangler_table::Result<(Vec<f64>, Vec<WorkerStat>)> {
+        self.score_pairs_parallel_exact(
+            pairs,
+            effective_workers(workers, pairs.len(), MIN_PAIRS_PER_WORKER),
+        )
+    }
+
+    /// [`Self::score_pairs_parallel`] with an *exact* pool width: spawns
+    /// `min(workers, pairs.len())` threads, bypassing the sizing policy.
+    /// Same output contract — this is the seam tests use to drive real
+    /// multi-thread reassembly even on machines with fewer cores, and what
+    /// the policy entry point delegates to.
+    pub fn score_pairs_parallel_exact(
         &self,
         pairs: &[(usize, usize)],
         workers: usize,
@@ -227,8 +250,7 @@ impl ErKernel {
         if pairs.is_empty() {
             return Ok((Vec::new(), Vec::new()));
         }
-        let workers = workers.max(1).min(pairs.len());
-        if workers == 1 {
+        if workers.max(1).min(pairs.len()) == 1 {
             let started = Instant::now();
             let scores = self.score_pairs(pairs)?;
             let stat = WorkerStat {
@@ -237,40 +259,23 @@ impl ErKernel {
             };
             return Ok((scores, vec![stat]));
         }
-        let mut scores = vec![0.0f64; pairs.len()];
-        let mut stats = Vec::with_capacity(workers);
-        std::thread::scope(|scope| -> wrangler_table::Result<()> {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let started = Instant::now();
-                        let mut scratch = SimScratch::default();
-                        let out: wrangler_table::Result<Vec<(usize, f64)>> = pairs
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(workers)
-                            .map(|(k, &(i, j))| Ok((k, self.score_scratch(i, j, &mut scratch)?)))
-                            .collect();
-                        (out, started.elapsed().as_nanos())
-                    })
-                })
-                .collect();
-            for h in handles {
-                let (chunk, busy) = h.join().map_err(|_| {
-                    TableError::Unavailable("ER scoring worker panicked".into())
-                })?;
-                let chunk = chunk?;
-                stats.push(WorkerStat {
-                    items: chunk.len() as u64,
-                    busy_nanos: busy,
-                });
-                for (k, s) in chunk {
-                    scores[k] = s;
-                }
-            }
-            Ok(())
+        // Contiguous blocked chunks, one per worker, reassembled in chunk
+        // order: concatenating the chunks *is* pair order, and each worker
+        // walks adjacent pairs so the compiled per-row cells stay hot.
+        let (chunks, stats) = par::run_blocked(pairs, workers, |_, chunk| {
+            let mut scratch = SimScratch::default();
+            chunk
+                .iter()
+                .map(|&(i, j)| self.score_scratch(i, j, &mut scratch))
+                .collect::<wrangler_table::Result<Vec<f64>>>()
+        })
+        .map_err(|msg| {
+            TableError::Unavailable(format!("ER scoring worker panicked: {msg}"))
         })?;
+        let mut scores = Vec::with_capacity(pairs.len());
+        for chunk in chunks {
+            scores.extend(chunk?);
+        }
         Ok((scores, stats))
     }
 
@@ -286,13 +291,24 @@ impl ErKernel {
     }
 
     /// Parallel [`Self::match_pairs`]: identical output for any worker count,
-    /// plus per-worker stats.
+    /// plus per-worker stats. Pool width goes through the sizing policy.
     pub fn match_pairs_parallel(
         &self,
         candidates: &[(usize, usize)],
         workers: usize,
     ) -> wrangler_table::Result<(Vec<ScoredPair>, Vec<WorkerStat>)> {
         let (scores, stats) = self.score_pairs_parallel(candidates, workers)?;
+        Ok((self.filter_matches(candidates, &scores), stats))
+    }
+
+    /// [`Self::match_pairs_parallel`] with an exact pool width (see
+    /// [`Self::score_pairs_parallel_exact`]).
+    pub fn match_pairs_parallel_exact(
+        &self,
+        candidates: &[(usize, usize)],
+        workers: usize,
+    ) -> wrangler_table::Result<(Vec<ScoredPair>, Vec<WorkerStat>)> {
+        let (scores, stats) = self.score_pairs_parallel_exact(candidates, workers)?;
         Ok((self.filter_matches(candidates, &scores), stats))
     }
 
@@ -691,13 +707,34 @@ mod tests {
         let cand = candidates_naive(t.num_rows());
         let serial = match_pairs(&t, &cand, &cfg).unwrap();
         let kernel = ErKernel::compile(&t, &cfg).unwrap();
-        for workers in 1..=6 {
-            let (parallel, stats) = kernel.match_pairs_parallel(&cand, workers).unwrap();
+        // Exact widths (including widths beyond the pair count) drive real
+        // multi-thread blocked reassembly regardless of the machine's cores.
+        for workers in 1..=cand.len() + 2 {
+            let (parallel, stats) = kernel.match_pairs_parallel_exact(&cand, workers).unwrap();
             assert_eq!(parallel, serial, "workers = {workers}");
             let items: u64 = stats.iter().map(|s| s.items).sum();
             assert_eq!(items, cand.len() as u64);
+            assert_eq!(stats.len(), workers.min(cand.len()));
             assert!(stats.iter().all(|s| s.items > 0), "idle worker");
         }
+        // The policy entry point produces the same output after sizing.
+        for workers in [1, 4, 64] {
+            let (parallel, stats) = kernel.match_pairs_parallel(&cand, workers).unwrap();
+            assert_eq!(parallel, serial, "workers = {workers}");
+            assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), cand.len() as u64);
+        }
+    }
+
+    #[test]
+    fn pool_sizing_keeps_tiny_batches_serial() {
+        // Fewer pairs than MIN_PAIRS_PER_WORKER: any requested width must
+        // resolve to a single worker (no spawn, one stat).
+        let kernel = ErKernel::compile(&t(), &cfg()).unwrap();
+        let cand = candidates_naive(5);
+        assert!(cand.len() < MIN_PAIRS_PER_WORKER);
+        let (_, stats) = kernel.score_pairs_parallel(&cand, 8).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].items, cand.len() as u64);
     }
 
     #[test]

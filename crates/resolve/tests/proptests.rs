@@ -156,12 +156,14 @@ proptest! {
     }
 
     #[test]
-    fn parallel_kernel_equals_serial_match_pairs(t in arb_messy_table(18), workers in 1usize..7) {
+    fn parallel_kernel_equals_serial_match_pairs(t in arb_messy_table(18), workers in 1usize..9) {
         let cfg = messy_cfg();
         let candidates = candidates_naive(t.num_rows());
         let serial = match_pairs(&t, &candidates, &cfg).unwrap();
         let kernel = ErKernel::compile(&t, &cfg).unwrap();
-        let (par, stats) = kernel.match_pairs_parallel(&candidates, workers).unwrap();
+        // `_exact` bypasses the pool-sizing policy so the property exercises
+        // real multi-thread blocked reassembly even on a small machine.
+        let (par, stats) = kernel.match_pairs_parallel_exact(&candidates, workers).unwrap();
         prop_assert_eq!(serial.len(), par.len());
         for (a, b) in serial.iter().zip(&par) {
             prop_assert_eq!((a.i, a.j), (b.i, b.j));
@@ -173,6 +175,27 @@ proptest! {
             stats.iter().map(|s| s.items).sum::<u64>(),
             candidates.len() as u64
         );
+        // The policy entry point sizes the pool differently but must score
+        // identically.
+        let (policy, _) = kernel.match_pairs_parallel(&candidates, workers).unwrap();
+        prop_assert_eq!(&policy, &par);
+    }
+
+    #[test]
+    fn parallel_kernel_handles_more_workers_than_pairs(t in arb_messy_table(4), extra in 1usize..9) {
+        // Worker counts exceeding the pair count must cap, not idle or panic.
+        let cfg = messy_cfg();
+        let candidates = candidates_naive(t.num_rows());
+        let workers = candidates.len() + extra;
+        let serial = match_pairs(&t, &candidates, &cfg).unwrap();
+        let kernel = ErKernel::compile(&t, &cfg).unwrap();
+        let (par, stats) = kernel.match_pairs_parallel_exact(&candidates, workers).unwrap();
+        prop_assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        prop_assert_eq!(stats.len(), candidates.len().min(workers));
+        prop_assert!(stats.iter().all(|s| s.items > 0), "idle worker spawned");
     }
 
     #[test]

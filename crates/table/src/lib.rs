@@ -14,7 +14,9 @@
 //! * a small expression language ([`expr`]) compiled against a schema;
 //! * a CSV codec ([`csv`]) with type inference ([`infer`]), the entry format
 //!   for file-based sources;
-//! * per-column statistics ([`stats`]) consumed by quality profiling.
+//! * per-column statistics ([`stats`]) consumed by quality profiling;
+//! * the deterministic blocked worker pool ([`par`]) shared by the compute
+//!   kernels (ER scoring, slot fusion, schema-matching generation).
 //!
 //! The design goal is a dependency-free, deterministic core: no I/O beyond
 //! strings, no randomness, so all downstream experiments are reproducible.
@@ -24,6 +26,7 @@ pub mod error;
 pub mod expr;
 pub mod infer;
 pub mod ops;
+pub mod par;
 pub mod schema;
 pub mod stats;
 pub mod table;
