@@ -165,10 +165,7 @@ fn main() {
         fleets_json.join(","),
         w.metrics().to_json()
     );
-    match std::fs::write("BENCH_e13.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_e13.json"),
-        Err(e) => println!("\ncould not write BENCH_e13.json: {e}"),
-    }
+    wrangler_bench::write_artifact("BENCH_e13.json", &json);
 
     println!("\nShape expected: er dominates (pairwise matching over the whole union),");
     println!("fuse is the runner-up, and every other stage stays single-digit — so any");

@@ -436,10 +436,7 @@ fn main() {
          \"fleets\":[{}]}}\n",
         fleets_json.join(",")
     );
-    match std::fs::write("BENCH_e14.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_e14.json"),
-        Err(e) => println!("\ncould not write BENCH_e14.json: {e}"),
-    }
+    wrangler_bench::write_artifact("BENCH_e14.json", &json);
 
     println!("\nShape expected: the kernels win big even at 1 worker (precompilation —");
     println!("per-row renderings and per-source weights cached once instead of per item);");

@@ -266,10 +266,7 @@ fn main() {
          \"rates\":[{}]}}\n",
         rows_json.join(",")
     );
-    match std::fs::write("BENCH_e15.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_e15.json"),
-        Err(e) => println!("\ncould not write BENCH_e15.json: {e}"),
-    }
+    wrangler_bench::write_artifact("BENCH_e15.json", &json);
 
     println!("\nShape expected: abort-ok collapses as soon as any poison profile lands");
     println!("(one bad source fails the whole pass); contain-ok stays at or near full");

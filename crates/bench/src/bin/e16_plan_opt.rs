@@ -290,10 +290,7 @@ fn main() {
         catch_json.join(","),
         rows_json.join(",")
     );
-    match std::fs::write("BENCH_e16.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_e16.json"),
-        Err(e) => println!("\ncould not write BENCH_e16.json: {e}"),
-    }
+    wrangler_bench::write_artifact("BENCH_e16.json", &json);
 
     println!("\nShape expected: every plan class is caught statically with zero runtime");
     println!("signal — these defects ship silently without the analyzer. The optimized");

@@ -51,7 +51,8 @@ fn main() -> ExitCode {
 
     if write {
         let json = report.to_baseline_json();
-        if let Err(e) = std::fs::write(BASELINE, &json) {
+        if let Err(e) = wrangler_core::write_atomic(std::path::Path::new(BASELINE), json.as_bytes())
+        {
             eprintln!("lint_gate: cannot write {BASELINE}: {e}");
             return ExitCode::from(2);
         }

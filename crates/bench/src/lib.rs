@@ -29,6 +29,17 @@ pub fn fleet(cfg: &FleetConfig, seed: u64) -> SyntheticFleet {
     wrangler_sources::synthetic::generate_fleet(cfg, seed)
 }
 
+/// Write a benchmark artifact (e.g. `BENCH_e15.json`) atomically —
+/// temp + rename via the checkpoint store's primitive — so a killed or
+/// crashing bench run can never leave a torn artifact for CI to ingest.
+/// Prints the standard wrote/could-not-write line either way.
+pub fn write_artifact(path: &str, contents: &str) {
+    match wrangler_core::write_atomic(std::path::Path::new(path), contents.as_bytes()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
 /// Target sample = master catalog + an (all-null, Float-typed) price column.
 pub fn target_sample(fleet: &SyntheticFleet) -> Table {
     let catalog = fleet.truth.master_catalog();

@@ -104,7 +104,7 @@ impl RetryPolicy {
 }
 
 /// Circuit-breaker tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
     /// Consecutive failures that trip the breaker open.
     pub failure_threshold: u32,
@@ -139,7 +139,7 @@ pub enum BreakerState {
 }
 
 /// Per-source circuit breaker over virtual time.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     state: BreakerState,
@@ -219,6 +219,34 @@ impl CircuitBreaker {
         }
     }
 
+    /// Decompose into durable parts — `(cfg, state, consecutive_failures,
+    /// probe_successes)` — for checkpoint serialization.
+    pub fn to_parts(&self) -> (BreakerConfig, BreakerState, u32, u32) {
+        (
+            self.cfg,
+            self.state,
+            self.consecutive_failures,
+            self.probe_successes,
+        )
+    }
+
+    /// Exact inverse of [`to_parts`](Self::to_parts): rebuild a breaker
+    /// mid-flight, counters and all, so a resumed pass distrusts exactly
+    /// what the crashed pass distrusted.
+    pub fn from_parts(
+        cfg: BreakerConfig,
+        state: BreakerState,
+        consecutive_failures: u32,
+        probe_successes: u32,
+    ) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state,
+            consecutive_failures,
+            probe_successes,
+        }
+    }
+
     /// Availability in \[0, 1\] as selection sees it: 1 closed, 0.5 on
     /// probation (half-open, or open with the cooldown elapsed), 0 while
     /// quarantined.
@@ -238,7 +266,7 @@ impl CircuitBreaker {
 }
 
 /// What happened to one selected source during acquisition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcquireOutcome {
     /// Which source.
     pub id: SourceId,
@@ -251,7 +279,7 @@ pub struct AcquireOutcome {
 }
 
 /// Terminal disposition of one source's acquisition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Disposition {
     /// Payload arrived intact.
     Fresh,
@@ -370,6 +398,20 @@ impl Acquisition {
     /// The engine's virtual clock (ticks spent acquiring so far).
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// The per-source breakers, in source order (empty in naive modes or
+    /// before the first acquisition touches a source).
+    pub fn breakers(&self) -> &[CircuitBreaker] {
+        &self.breakers
+    }
+
+    /// Restore the private engine state — virtual clock and breaker fleet —
+    /// from a checkpoint. The public counters (`total_attempts`,
+    /// `total_backoff_ticks`) are plain fields the caller restores directly.
+    pub fn restore_state(&mut self, clock: u64, breakers: Vec<CircuitBreaker>) {
+        self.clock = clock;
+        self.breakers = breakers;
     }
 
     /// Availability of source `i` as the breakers currently see it.
@@ -620,7 +662,7 @@ impl Acquisition {
 
 /// Summary of the most recent acquisition pass, kept by the session for
 /// outcome reporting and provenance.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AcquisitionSummary {
     /// Per-source dispositions of the last pass.
     pub outcomes: Vec<AcquireOutcome>,

@@ -316,6 +316,18 @@ impl ContainmentReport {
         self.stages.get(stage.name()).copied().unwrap_or_default()
     }
 
+    /// Overwrite `stage`'s tallies wholesale — the checkpoint-restore path,
+    /// which rebuilds a report exactly as the crashed pass left it. A
+    /// zero tally removes the entry so restored reports compare equal
+    /// (`PartialEq`) to originals that never touched the stage.
+    pub fn set_tallies(&mut self, stage: Stage, t: StageTallies) {
+        if t.is_zero() {
+            self.stages.remove(stage.name());
+        } else {
+            self.stages.insert(stage.name(), t);
+        }
+    }
+
     /// Ids of all quarantined sources, deduplicated, ascending.
     pub fn quarantined_sources(&self) -> Vec<SourceId> {
         let mut ids: Vec<SourceId> = self.quarantines.iter().map(|q| q.source).collect();

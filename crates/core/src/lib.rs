@@ -16,6 +16,10 @@
 //! * [`contain`] — stage-level fault containment: poison-payload
 //!   quarantine, per-stage budgets and panic isolation, so a source that
 //!   goes bad *mid-pipeline* degrades the pass instead of killing it;
+//! * [`ckpt_io`] — checkpoint serialization: the [`ckpt_io::SessionState`]
+//!   snapshot plus per-stage output records that `wrangler-ckpt` persists at
+//!   every stage seam, making a wrangle crash-resilient (kill the process at
+//!   any boundary; `resume` replays the deepest valid prefix byte-identically);
 //! * [`lower`] — lowers each wrangle pass into the `wrangler-plan` typed IR;
 //!   the compiled [`wrangler_plan::PlanProgram`] then drives filter
 //!   placement, fuse liveness, profile sharing and the output projection;
@@ -27,6 +31,7 @@
 pub mod acquire;
 pub mod active;
 pub mod baseline;
+pub mod ckpt_io;
 pub mod contain;
 pub mod eval;
 pub mod lower;
@@ -49,6 +54,10 @@ pub use lower::{lower, LowerInput};
 pub use planner::Plan;
 pub use provenance::{acquisition_table, lint_table, metrics_table, plan_table, provenance_table};
 pub use uncertain::UncertainView;
+pub use ckpt_io::SessionState;
 pub use wrangler::{WrangleOutcome, Wrangler};
+pub use wrangler_ckpt::{
+    scratch_dir, write_atomic, CheckpointStore, CkptStats, CrashMode, CrashPolicy, CrashSite,
+};
 pub use wrangler_obs::{MetricsReport, ObsMode, Telemetry};
 pub use wrangler_plan::{OptMode, PlanProgram};

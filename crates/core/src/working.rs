@@ -143,6 +143,23 @@ impl PairScoreCache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Iterate all cached `(key, score)` entries in key order, for durable
+    /// serialization through the checkpoint store.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.scores.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Rebuild a cache from serialized entries and counters — the restart
+    /// path: a resumed session re-seeds ER scoring with every pair score the
+    /// crashed process had computed, so cache replay survives process death.
+    pub fn restore(entries: Vec<(String, f64)>, hits: u64, misses: u64) -> PairScoreCache {
+        PairScoreCache {
+            scores: entries.into_iter().collect(),
+            hits,
+            misses,
+        }
+    }
 }
 
 /// Dirtiness tracking for derived artifacts.

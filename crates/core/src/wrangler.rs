@@ -29,7 +29,11 @@ use wrangler_table::par;
 use wrangler_table::{ops, DataType, Expr, Schema, Table, TableError, Value};
 use wrangler_uncertainty::{Belief, Evidence, EvidenceKind};
 
+use wrangler_ckpt::{CheckpointStore, ContentKey, CrashPolicy, CrashSite};
+use wrangler_table::wire;
+
 use crate::acquire::{Acquisition, AcquisitionSummary};
+use crate::ckpt_io::{self, SessionState};
 use crate::contain::{
     catch_quiet, poison_reason, ContainMode, ContainPolicy, ContainmentReport, Guarded, Stage,
     StageGuard,
@@ -193,6 +197,14 @@ pub struct Wrangler {
     /// The compiled plan program of the last wrangle (IR, analysis facts,
     /// findings, and the verified rewrite ledger).
     last_program: Option<PlanProgram>,
+    /// Optional checkpoint store: with one attached, every wrangle persists
+    /// each stage seam under a content key, and a fresh process pointed at
+    /// the same store replays the deepest valid prefix instead of
+    /// recomputing it (crash-resilient wrangling).
+    ckpt: Option<CheckpointStore>,
+    /// Optional crash-injection policy (test/bench harness): deterministic
+    /// panic or process exit at one stage seam.
+    crash: Option<CrashPolicy>,
 }
 
 impl Wrangler {
@@ -233,6 +245,8 @@ impl Wrangler {
             output_columns: None,
             opt_mode: OptMode::default(),
             last_program: None,
+            ckpt: None,
+            crash: None,
         }
     }
 
@@ -562,107 +576,258 @@ impl Wrangler {
         self.working.invalidate(Artifact::MappedTable(i));
     }
 
-    fn wrangle_contained(
+    // --- Crash-resilient checkpointing -----------------------------------
+
+    /// Attach a checkpoint store: every subsequent wrangle persists each
+    /// stage seam (select, acquire, map_generate, map_apply, union, er,
+    /// fuse) under a content key derived from the source payload hashes,
+    /// the compiled plan fingerprint and the chained upstream seam keys.
+    /// A fresh process pointed at the same store replays the deepest valid
+    /// prefix byte-identically instead of recomputing it — including
+    /// quarantine, trust and breaker state, which travel inside each seam
+    /// record. One caveat: the keys do not cover the data context (its
+    /// debug rendering iterates an unordered map), so sessions that mutate
+    /// the data context between runs must use a fresh store directory.
+    pub fn with_checkpoint_store(mut self, store: CheckpointStore) -> Wrangler {
+        self.ckpt = Some(store);
+        self
+    }
+
+    /// Arm deterministic crash injection: the next wrangle panics (or
+    /// exits) at the configured stage seam, *after* that seam's checkpoint
+    /// persisted. The E17 harness and the resume proptests use this to
+    /// interrupt a pass at every boundary.
+    pub fn with_crash_policy(mut self, policy: CrashPolicy) -> Wrangler {
+        self.crash = Some(policy);
+        self
+    }
+
+    /// Disarm crash injection (the resume half of an in-process test).
+    pub fn clear_crash_policy(&mut self) {
+        self.crash = None;
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref()
+    }
+
+    /// Resume an interrupted wrangle from the attached checkpoint store.
+    /// Replay is just re-running the pass: every seam whose content key has
+    /// a valid record restores its snapshot and skips its compute; the
+    /// first seam without one (where the crash hit) computes live. The
+    /// outcome is byte-identical to an uninterrupted run.
+    pub fn resume(&mut self) -> wrangler_table::Result<WrangleOutcome> {
+        if self.ckpt.is_none() {
+            return Err(TableError::Invalid(
+                "resume requires an attached checkpoint store".into(),
+            ));
+        }
+        self.wrangle()
+    }
+
+    fn crash_fire(&self, site: CrashSite) {
+        if let Some(p) = &self.crash {
+            p.fire(site);
+        }
+    }
+
+    /// Snapshot everything this pass has mutated so far (see
+    /// [`SessionState`]); stored inside every seam record.
+    fn snapshot_state(&self, creport: &ContainmentReport) -> SessionState {
+        SessionState {
+            now: self.now,
+            access_spent: self.access_spent,
+            trust: self.states.iter().map(|s| s.trust.clone()).collect(),
+            relevance: self.states.iter().map(|s| s.relevance).collect(),
+            acq_clock: self.acquisition.clock(),
+            acq_total_attempts: self.acquisition.total_attempts,
+            acq_total_backoff: self.acquisition.total_backoff_ticks,
+            breakers: self.acquisition.breakers().to_vec(),
+            pair_entries: self
+                .working
+                .pair_scores
+                .entries()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            pair_hits: self.working.pair_scores.hits(),
+            pair_misses: self.working.pair_scores.misses(),
+            work: self.working.work,
+            creport: creport.clone(),
+            last_acquisition: self.last_acquisition.clone(),
+        }
+    }
+
+    /// Apply a seam snapshot: the session (and the in-progress containment
+    /// report) now look exactly as they did when the record was written, so
+    /// side effects (trust discounts, breaker trips, quarantines) are never
+    /// re-applied on replay.
+    fn restore_state(&mut self, st: SessionState, creport: &mut ContainmentReport) {
+        self.now = st.now;
+        self.access_spent = st.access_spent;
+        for (i, b) in st.trust.into_iter().enumerate() {
+            if let Some(s) = self.states.get_mut(i) {
+                s.trust = b;
+            }
+        }
+        for (i, r) in st.relevance.into_iter().enumerate() {
+            if let Some(s) = self.states.get_mut(i) {
+                s.relevance = r;
+            }
+        }
+        self.acquisition.total_attempts = st.acq_total_attempts;
+        self.acquisition.total_backoff_ticks = st.acq_total_backoff;
+        self.acquisition.restore_state(st.acq_clock, st.breakers);
+        self.working.pair_scores =
+            PairScoreCache::restore(st.pair_entries, st.pair_hits, st.pair_misses);
+        self.working.work = st.work;
+        *creport = st.creport;
+        self.last_acquisition = st.last_acquisition;
+    }
+
+    /// Fingerprint of everything that shapes this pass besides the source
+    /// payloads and runtime state: target schema + sample, user context,
+    /// derived plan, ER/match/containment/acquisition configuration, filter
+    /// and projection, and the value-feedback constraints (in sorted key
+    /// order — their maps are lookup-only). Worker-count knobs are
+    /// excluded: outputs are byte-identical for any pool width. The data
+    /// context is excluded (see [`Self::with_checkpoint_store`]).
+    fn pass_fingerprint(&self, plan: &Plan) -> u64 {
+        let mut h = wire::Hasher64::new();
+        let mut e = wire::Enc::new();
+        wire::encode_schema(&mut e, &self.target);
+        h.write(&e.into_bytes());
+        h.write_u64(wire::table_hash(&self.target_sample));
+        h.write_str(&format!("{:?}", self.user));
+        h.write_str(&format!("{plan:?}"));
+        h.write_str(&format!("{:?}", self.er_cfg));
+        h.write_str(&format!("{:?}", self.match_cfg));
+        h.write_str(&format!("{:?}", self.contain));
+        h.write_str(&format!("{:?}", self.row_filter));
+        h.write_str(&format!("{:?}", self.output_columns));
+        h.write_str(&format!("{:?}", self.opt_mode));
+        h.write_str(&format!("{:?}", self.lint_gate));
+        h.write_str(&format!("{:?}", self.routing));
+        h.write_str(&format!("{:?}", self.acquisition.mode));
+        h.write_str(&format!("{:?}", self.acquisition.policy));
+        h.write_str(&format!("{:?}", self.acquisition.breaker_cfg));
+        for i in 0..self.registry.len() {
+            h.write_str(&format!(
+                "{:?}",
+                self.registry.fault_profile(SourceId(i as u32))
+            ));
+        }
+        let mut vetoes: Vec<_> = self.vetoes.iter().collect();
+        vetoes.sort_by_key(|(k, _)| **k);
+        for ((ent, attr), vals) in vetoes {
+            h.write_u64(*ent as u64)
+                .write_u64(*attr as u64)
+                .write_str(&format!("{vals:?}"));
+        }
+        let mut confirms: Vec<_> = self.confirmations.iter().collect();
+        confirms.sort_by_key(|(k, _)| **k);
+        for ((ent, attr), v) in confirms {
+            h.write_u64(*ent as u64)
+                .write_u64(*attr as u64)
+                .write_str(&format!("{v:?}"));
+        }
+        h.finish()
+    }
+
+    /// The first seam's key: the pass fingerprint plus everything the
+    /// select stage reads — the session tick, every source's payload hash
+    /// and pre-pass trust, and the acquisition engine's full state (clock,
+    /// counters, breaker fleet). Two passes with any divergent history key
+    /// differently, so a checkpoint can never replay across histories.
+    fn seam_key_select(&self, pass_fp: u64) -> u64 {
+        let mut k = ContentKey::stage("select", pass_fp).labelled("now", self.now);
+        for i in 0..self.registry.len() {
+            let id = SourceId(i as u32);
+            k = k
+                .input(self.registry.payload_hash(id).unwrap_or(0))
+                .input(self.states[i].trust.to_parts().0.to_bits());
+        }
+        let acq = wire::hash64(format!("{:?}", self.acquisition).as_bytes());
+        k.labelled("acq", acq).finish()
+    }
+
+    /// A downstream seam's key: chained through the previous seam's key, so
+    /// a valid record implies every upstream seam matched — replaying the
+    /// deepest valid prefix falls out of re-running the same sequence.
+    fn seam_key(stage: &str, pass_fp: u64, chain: u64, extra: u64) -> u64 {
+        ContentKey::stage(stage, pass_fp)
+            .labelled("chain", chain)
+            .input(extra)
+            .finish()
+    }
+
+    /// Try to replay a seam. On a valid record the session state is
+    /// restored and the stage's output payload returned; a miss, a torn
+    /// record (checksum/framing failure — counted, unlinked, never loaded)
+    /// or an undecodable payload returns `None` and the stage computes
+    /// live.
+    fn ckpt_load(
         &mut self,
+        stage: &str,
+        key: u64,
         creport: &mut ContainmentReport,
-    ) -> wrangler_table::Result<WrangleOutcome> {
-        let plan = self.plan();
-        let policy = self.contain.clone();
-        // A pass that aborted with `?` leaves spans open; start clean. An
-        // early error return below simply leaves this pass's spans
-        // unrecorded — counters recorded up to the failure point persist.
-        self.obs.start_pass();
-        self.obs.begin("wrangle");
-        self.obs.inc("pass.wrangle");
-
-        // 1. Source selection under the user context.
-        self.obs.begin("select");
-        let estimates = self.estimates();
-        let selected: Vec<SourceId> = match plan.selection {
-            SelectionStrategy::MarginalGain => select_marginal_gain(&estimates, &self.user).0,
-            SelectionStrategy::AllRelevant => {
-                let mut all = UserContext::balanced("all");
-                all.budget = self.user.budget;
-                all.max_sources = self.user.max_sources;
-                all.freshness_horizon = self.user.freshness_horizon;
-                select_greedy_utility(&estimates, &all)
+    ) -> Option<Vec<u8>> {
+        let (raw, torn) = {
+            let store = self.ckpt.as_ref()?;
+            let before = store.stats().torn_detected;
+            let raw = store.get(key);
+            (raw, store.stats().torn_detected - before)
+        };
+        if torn > 0 {
+            self.obs.count(&format!("ckpt.{stage}.torn_detected"), torn);
+        }
+        let Some(raw) = raw else {
+            self.obs.inc(&format!("ckpt.{stage}.misses"));
+            return None;
+        };
+        match ckpt_io::decode_record(&raw) {
+            Ok((state, out)) if state.trust.len() == self.states.len() => {
+                self.restore_state(state, creport);
+                self.obs.inc(&format!("ckpt.{stage}.hits"));
+                Some(out)
             }
-        };
-        self.obs.count("select.candidates", estimates.len() as u64);
-        self.obs.count("select.selected", selected.len() as u64);
-        self.obs.end();
-        // 2. Acquisition: fallibly fetch every selected source through the
-        // registry's (optional) fault layer under the session's resilience
-        // policy. The pipeline then continues on the surviving subset:
-        // skipped sources are recorded in the outcome and their trust
-        // discounted, degraded payloads are integrated as delivered.
-        self.obs.begin("acquire");
-        let mut report = self
-            .acquisition
-            .acquire_selected(&self.registry, &selected, self.now);
-        let skipped = report.skipped();
-        let degraded = report.degraded();
-        let survivors = report.survivors();
-        let degraded_payloads = std::mem::take(&mut report.degraded_tables);
-        self.obs.absorb("acquire", &report.events);
-        self.obs.count("acquire.attempts", report.attempts);
-        self.obs.count("acquire.virtual_ticks", report.ticks);
-        self.obs.count("acquire.skipped", skipped.len() as u64);
-        self.obs.count("acquire.degraded", degraded.len() as u64);
-        self.last_acquisition = AcquisitionSummary {
-            outcomes: report.outcomes,
-            skipped: skipped.clone(),
-            degraded: degraded.clone(),
-            attempts: report.attempts,
-            ticks: report.ticks,
-        };
-        self.obs.end();
-        if let Some(err) = report.aborted {
-            return Err(TableError::Unavailable(format!(
-                "acquisition aborted after {} attempts: {err}",
-                report.attempts
-            )));
-        }
-        for (id, _) in &skipped {
-            // An operational failure is (soft) evidence against the source;
-            // the discount keeps selection from re-picking serial offenders
-            // even after their breaker half-opens.
-            self.states[id.0 as usize]
-                .trust
-                .update(&Evidence::vote(EvidenceKind::Component, false, 0.8).discounted(0.9));
-        }
-        if survivors.is_empty() {
-            // `why` already names the source (AcquireError's Display does).
-            let reasons: Vec<String> = skipped.iter().map(|(_, why)| why.clone()).collect();
-            return Err(TableError::Unavailable(format!(
-                "no sources could be acquired ({} selected, all failed: {})",
-                selected.len(),
-                reasons.join("; ")
-            )));
-        }
-        let mut selected = survivors;
-        // Degraded payloads are transient: remap them from this delivery and
-        // invalidate the cached artifacts so a later (possibly clean)
-        // acquisition remaps again instead of reusing stale noise.
-        let degraded_tables: BTreeMap<usize, Table> = degraded_payloads
-            .into_iter()
-            .map(|(id, t)| (id.0 as usize, t))
-            .collect();
-        for &i in degraded_tables.keys() {
-            self.working.invalidate(Artifact::Mapping(i));
-            self.working.invalidate(Artifact::MappedTable(i));
-        }
-        self.access_spent = {
-            let mut total = 0.0;
-            for id in &selected {
-                total += self.source(*id)?.meta.access_cost;
+            // Checksummed but undecodable, or from a different fleet shape:
+            // never trust it, recompute.
+            _ => {
+                self.obs.inc(&format!("ckpt.{stage}.misses"));
+                None
             }
-            total
-        };
+        }
+    }
 
-        // 3. Mapping generation + execution per acquired source. Generation
-        // (schema matching) is the CPU-heavy step; fan it out across threads.
-        self.obs.begin("map_generate");
+    /// Persist a seam record (session snapshot + stage output). Atomic
+    /// temp-file + rename inside the store; a failed write degrades to "no
+    /// checkpoint at this seam", never to a torn record.
+    fn ckpt_save(&mut self, stage: &str, key: u64, creport: &ContainmentReport, output: &[u8]) {
+        let Some(store) = self.ckpt.as_ref() else {
+            return;
+        };
+        let rec = ckpt_io::encode_record(&self.snapshot_state(creport), output);
+        let wrote = store.put(key, &rec).is_ok();
+        if wrote {
+            self.obs
+                .count(&format!("ckpt.{stage}.bytes_written"), rec.len() as u64);
+        } else {
+            self.obs.inc(&format!("ckpt.{stage}.write_failed"));
+        }
+    }
+
+    /// The live map-generate stage: alignment budgets, chaos rolls, the
+    /// blocked schema-matching fan-out, and per-source quarantine of
+    /// panicking inputs. Factored out of `wrangle_contained` so the
+    /// checkpoint seam around it stays readable.
+    fn map_generate_stage(
+        &mut self,
+        policy: &ContainPolicy,
+        creport: &mut ContainmentReport,
+        selected: &mut Vec<SourceId>,
+        degraded_tables: &BTreeMap<usize, Table>,
+    ) -> wrangler_table::Result<()> {
         let need_mapping: Vec<usize> = selected
             .iter()
             .map(|id| id.0 as usize)
@@ -703,7 +868,7 @@ impl Wrangler {
             // most expensive stage. Chaos rolls happen here too, on the
             // main thread, so worker count never changes which sources are
             // hit.
-            let mut guard = StageGuard::new(Stage::MapGenerate, &policy, creport);
+            let mut guard = StageGuard::new(Stage::MapGenerate, policy, creport);
             let mut inputs: Vec<(usize, &Table, bool)> = Vec::with_capacity(resolved.len());
             for (i, table) in resolved {
                 let id = SourceId(i as u32);
@@ -832,8 +997,198 @@ impl Wrangler {
                 ));
             }
         }
-        self.obs.end();
+        Ok(())
+    }
 
+    fn wrangle_contained(
+        &mut self,
+        creport: &mut ContainmentReport,
+    ) -> wrangler_table::Result<WrangleOutcome> {
+        let plan = self.plan();
+        let policy = self.contain.clone();
+        // A pass that aborted with `?` leaves spans open; start clean. An
+        // early error return below simply leaves this pass's spans
+        // unrecorded — counters recorded up to the failure point persist.
+        self.obs.start_pass();
+        self.obs.begin("wrangle");
+        self.obs.inc("pass.wrangle");
+
+        // 1. Source selection under the user context. With a checkpoint
+        // store attached, every stage seam below is content-keyed: a hit
+        // restores the seam's session snapshot and installs its output
+        // (side effects replay from the snapshot, never re-derive); a miss
+        // computes live and persists. Keys chain, so a valid record implies
+        // the whole upstream prefix matched.
+        self.obs.begin("select");
+        let ckpt_on = self.ckpt.is_some();
+        let pass_fp = if ckpt_on { self.pass_fingerprint(&plan) } else { 0 };
+        let k_select = if ckpt_on { self.seam_key_select(pass_fp) } else { 0 };
+        let selected: Vec<SourceId> = match self.ckpt_load("select", k_select, creport) {
+            Some(out) => ckpt_io::SelectOut::decode(&out)?.selected,
+            None => {
+                let estimates = self.estimates();
+                let selected: Vec<SourceId> = match plan.selection {
+                    SelectionStrategy::MarginalGain => {
+                        select_marginal_gain(&estimates, &self.user).0
+                    }
+                    SelectionStrategy::AllRelevant => {
+                        let mut all = UserContext::balanced("all");
+                        all.budget = self.user.budget;
+                        all.max_sources = self.user.max_sources;
+                        all.freshness_horizon = self.user.freshness_horizon;
+                        select_greedy_utility(&estimates, &all)
+                    }
+                };
+                self.obs.count("select.candidates", estimates.len() as u64);
+                self.obs.count("select.selected", selected.len() as u64);
+                let out = ckpt_io::SelectOut {
+                    selected: selected.clone(),
+                }
+                .encode();
+                self.ckpt_save("select", k_select, creport, &out);
+                selected
+            }
+        };
+        self.obs.end();
+        self.crash_fire(CrashSite::AfterSelect);
+        let mut chain = k_select;
+        // 2. Acquisition: fallibly fetch every selected source through the
+        // registry's (optional) fault layer under the session's resilience
+        // policy. The pipeline then continues on the surviving subset:
+        // skipped sources are recorded in the outcome and their trust
+        // discounted, degraded payloads are integrated as delivered.
+        self.obs.begin("acquire");
+        let k_acquire = if ckpt_on {
+            Self::seam_key("acquire", pass_fp, chain, 0)
+        } else {
+            0
+        };
+        let (mut selected, degraded_tables): (Vec<SourceId>, BTreeMap<usize, Table>) =
+            match self.ckpt_load("acquire", k_acquire, creport) {
+                Some(out) => {
+                    let rec = ckpt_io::AcquireOut::decode(&out)?;
+                    self.obs.end();
+                    (rec.selected, rec.degraded_tables.into_iter().collect())
+                }
+                None => {
+                    let mut report = self
+                        .acquisition
+                        .acquire_selected(&self.registry, &selected, self.now);
+                    let skipped = report.skipped();
+                    let degraded = report.degraded();
+                    let survivors = report.survivors();
+                    let degraded_payloads = std::mem::take(&mut report.degraded_tables);
+                    self.obs.absorb("acquire", &report.events);
+                    self.obs.count("acquire.attempts", report.attempts);
+                    self.obs.count("acquire.virtual_ticks", report.ticks);
+                    self.obs.count("acquire.skipped", skipped.len() as u64);
+                    self.obs.count("acquire.degraded", degraded.len() as u64);
+                    self.last_acquisition = AcquisitionSummary {
+                        outcomes: report.outcomes,
+                        skipped: skipped.clone(),
+                        degraded: degraded.clone(),
+                        attempts: report.attempts,
+                        ticks: report.ticks,
+                    };
+                    self.obs.end();
+                    if let Some(err) = report.aborted {
+                        return Err(TableError::Unavailable(format!(
+                            "acquisition aborted after {} attempts: {err}",
+                            report.attempts
+                        )));
+                    }
+                    for (id, _) in &skipped {
+                        // An operational failure is (soft) evidence against
+                        // the source; the discount keeps selection from
+                        // re-picking serial offenders even after their
+                        // breaker half-opens.
+                        self.states[id.0 as usize].trust.update(
+                            &Evidence::vote(EvidenceKind::Component, false, 0.8).discounted(0.9),
+                        );
+                    }
+                    if survivors.is_empty() {
+                        // `why` already names the source (AcquireError's
+                        // Display does).
+                        let reasons: Vec<String> =
+                            skipped.iter().map(|(_, why)| why.clone()).collect();
+                        return Err(TableError::Unavailable(format!(
+                            "no sources could be acquired ({} selected, all failed: {})",
+                            selected.len(),
+                            reasons.join("; ")
+                        )));
+                    }
+                    let selected = survivors;
+                    let degraded_tables: BTreeMap<usize, Table> = degraded_payloads
+                        .into_iter()
+                        .map(|(id, t)| (id.0 as usize, t))
+                        .collect();
+                    self.access_spent = {
+                        let mut total = 0.0;
+                        for id in &selected {
+                            total += self.source(*id)?.meta.access_cost;
+                        }
+                        total
+                    };
+                    let out = ckpt_io::AcquireOut {
+                        selected: selected.clone(),
+                        degraded_tables: degraded_tables
+                            .iter()
+                            .map(|(&i, t)| (i, t.clone()))
+                            .collect(),
+                    }
+                    .encode();
+                    self.ckpt_save("acquire", k_acquire, creport, &out);
+                    (selected, degraded_tables)
+                }
+            };
+        // Degraded payloads are transient: remap them from this delivery and
+        // invalidate the cached artifacts so a later (possibly clean)
+        // acquisition remaps again instead of reusing stale noise.
+        for &i in degraded_tables.keys() {
+            self.working.invalidate(Artifact::Mapping(i));
+            self.working.invalidate(Artifact::MappedTable(i));
+        }
+        self.crash_fire(CrashSite::AfterAcquire);
+        chain = k_acquire;
+
+        // 3. Mapping generation + execution per acquired source. Generation
+        // (schema matching) is the CPU-heavy step; fan it out across threads.
+        self.obs.begin("map_generate");
+        let k_mapgen = if ckpt_on {
+            Self::seam_key("map_generate", pass_fp, chain, 0)
+        } else {
+            0
+        };
+        match self.ckpt_load("map_generate", k_mapgen, creport) {
+            Some(out) => {
+                let rec = ckpt_io::MapGenOut::decode(&out)?;
+                selected = rec.selected;
+                for (i, mapping) in rec.mappings {
+                    if let Some(state) = self.states.get_mut(i) {
+                        state.mapping = Some(mapping);
+                        self.working.mark_clean(Artifact::Mapping(i));
+                    }
+                }
+            }
+            None => {
+                self.map_generate_stage(&policy, creport, &mut selected, &degraded_tables)?;
+                let out = ckpt_io::MapGenOut {
+                    selected: selected.clone(),
+                    mappings: selected
+                        .iter()
+                        .filter_map(|id| {
+                            let i = id.0 as usize;
+                            self.states[i].mapping.clone().map(|m| (i, m))
+                        })
+                        .collect(),
+                }
+                .encode();
+                self.ckpt_save("map_generate", k_mapgen, creport, &out);
+            }
+        }
+        self.obs.end();
+        self.crash_fire(CrashSite::AfterMapGenerate);
+        chain = k_mapgen;
         // 3b. Lower the pass into the typed plan IR and compile it: the
         // analyzer establishes the fact base, emits whole-plan findings
         // (L301+), and the optimizer's rewrite ledger is re-verified against
@@ -997,11 +1352,34 @@ impl Wrangler {
         }
         self.obs.end();
         self.obs.begin("map_apply");
-        let mut apply_removed: Vec<usize> = Vec::new();
+        let prog_fp = if ckpt_on {
+            self.last_program.as_ref().map(|p| p.fingerprint()).unwrap_or(0)
+        } else {
+            0
+        };
+        let k_apply = if ckpt_on {
+            Self::seam_key("map_apply", pass_fp, chain, prog_fp)
+        } else {
+            0
+        };
         let track_scans = self.obs.is_on();
-        let mut scan_map_cells = 0u64;
         let mut scan_filter_cells = 0u64;
         let mut scan_bytes = 0u64;
+        match self.ckpt_load("map_apply", k_apply, creport) {
+            Some(out) => {
+                let rec = ckpt_io::MapApplyOut::decode(&out)?;
+                selected = rec.selected;
+                for (i, table, tag) in rec.mapped {
+                    if let Some(state) = self.states.get_mut(i) {
+                        state.mapped = Some(table);
+                        state.filter_tag = tag;
+                        self.working.mark_clean(Artifact::MappedTable(i));
+                    }
+                }
+            }
+            None => {
+        let mut apply_removed: Vec<usize> = Vec::new();
+        let mut scan_map_cells = 0u64;
         {
             let program = self.last_program.as_ref();
             let target = &self.target;
@@ -1117,7 +1495,26 @@ impl Wrangler {
         }
         self.obs.count("map.applied", selected.len() as u64);
         self.obs.count("scan.map.cells", scan_map_cells);
+        let out = ckpt_io::MapApplyOut {
+            selected: selected.clone(),
+            mapped: selected
+                .iter()
+                .filter_map(|id| {
+                    let i = id.0 as usize;
+                    self.states[i]
+                        .mapped
+                        .clone()
+                        .map(|t| (i, t, self.states[i].filter_tag.clone()))
+                })
+                .collect(),
+        }
+        .encode();
+        self.ckpt_save("map_apply", k_apply, creport, &out);
+            }
+        }
         self.obs.end();
+        self.crash_fire(CrashSite::AfterMapApply);
+        chain = k_apply;
 
         // 4. Union with provenance — and the poison firewall: every row is
         // scanned here, the last point where damage is still attributable
@@ -1128,6 +1525,20 @@ impl Wrangler {
         // or not it matches the filter, so containment decisions are
         // placement-independent.
         self.obs.begin("union");
+        let k_union = if ckpt_on {
+            Self::seam_key("union", pass_fp, chain, prog_fp)
+        } else {
+            0
+        };
+        let union: Vec<(usize, Vec<Value>)> = match self.ckpt_load("union", k_union, creport) {
+            Some(out) => {
+                let rec = ckpt_io::UnionOut::decode(&out)?;
+                selected = rec.selected;
+                self.obs.count("union.rows", rec.union.len() as u64);
+                self.obs.count("union.filtered", rec.union_filtered);
+                rec.union
+            }
+            None => {
         let inline_filter = match (&self.last_program, self.opt_mode) {
             (Some(p), OptMode::Optimized) => match p.predicate() {
                 Some(e) => Some(e.bind(&self.target)?),
@@ -1270,6 +1681,18 @@ impl Wrangler {
         self.obs.count("scan.union.cells", scan_union_cells);
         self.obs.count("scan.filter.cells", scan_filter_cells);
         self.obs.count("scan.bytes", scan_bytes);
+        let out = ckpt_io::UnionOut {
+            selected: selected.clone(),
+            union: union.clone(),
+            union_filtered,
+        }
+        .encode();
+        self.ckpt_save("union", k_union, creport, &out);
+        union
+            }
+        };
+        self.crash_fire(CrashSite::AfterUnion);
+        chain = k_union;
 
         // 5. Entity resolution over the union.
         let union_table = {
@@ -1285,18 +1708,43 @@ impl Wrangler {
         // in the candidate pairs), so a panic here cannot be pinned on one
         // source and quarantined — but it can still be *caught* and turned
         // into a structured error instead of unwinding through the session.
-        let er = if policy.is_off() {
-            self.er_stage(&union_table)?
+        let k_er = if ckpt_on {
+            Self::seam_key("er", pass_fp, chain, prog_fp)
         } else {
-            match catch_quiet(|| self.er_stage(&union_table)) {
-                Ok(r) => r?,
-                Err(msg) => {
-                    creport.caught_panic(Stage::Er);
-                    self.obs.end();
-                    return Err(TableError::Unavailable(format!(
-                        "er stage panicked: {msg}"
-                    )));
+            0
+        };
+        let er = match self.ckpt_load("er", k_er, creport) {
+            Some(out) => {
+                let rec = ckpt_io::ErOut::decode(&out)?;
+                self.working.mark_clean(Artifact::Clusters);
+                self.obs.count("er.entities", rec.clusters.len() as u64);
+                ErStageOutcome {
+                    clusters: rec.clusters,
+                    row_entity: rec.row_entity,
                 }
+            }
+            None => {
+                let er = if policy.is_off() {
+                    self.er_stage(&union_table)?
+                } else {
+                    match catch_quiet(|| self.er_stage(&union_table)) {
+                        Ok(r) => r?,
+                        Err(msg) => {
+                            creport.caught_panic(Stage::Er);
+                            self.obs.end();
+                            return Err(TableError::Unavailable(format!(
+                                "er stage panicked: {msg}"
+                            )));
+                        }
+                    }
+                };
+                let out = ckpt_io::ErOut {
+                    clusters: er.clusters.clone(),
+                    row_entity: er.row_entity.clone(),
+                }
+                .encode();
+                self.ckpt_save("er", k_er, creport, &out);
+                er
             }
         };
         let ErStageOutcome {
@@ -1304,11 +1752,54 @@ impl Wrangler {
             row_entity,
         } = er;
         self.obs.end();
+        self.crash_fire(CrashSite::AfterEr);
+        chain = k_er;
 
         // 6. Claims + trust. Fuse-stage chaos rolls first: a source whose
         // partition "panics" here is quarantined before its claims enter
         // the claim set, so its values cannot influence fusion.
         self.obs.begin("fuse");
+        let k_fuse = if ckpt_on {
+            Self::seam_key("fuse", pass_fp, chain, prog_fp)
+        } else {
+            0
+        };
+        #[allow(clippy::type_complexity)]
+        let (claims, source_ctx, fused): (
+            ClaimSet,
+            SourceContext,
+            HashMap<(usize, usize), FusedValue>, // hash-ok: keyed by slot, read via get()
+        ) = match self.ckpt_load("fuse", k_fuse, creport) {
+            Some(out) => {
+                let rec = ckpt_io::FuseOut::decode(&out)?;
+                selected = rec.selected;
+                // Claims are rebuilt live from the (already restored) union
+                // and clustering — cheap, and it keeps the heavy claim set
+                // out of the wire format. Quarantined-at-fuse sources are
+                // excluded exactly as the cold run excluded them; their
+                // trust/breaker discounts replayed from the snapshot.
+                let mut claims = ClaimSet::new(self.registry.len());
+                claims.rel_tol = plan.fusion_tolerance;
+                for (r, (src, row)) in union.iter().enumerate() {
+                    if rec.fuse_removed.contains(src) {
+                        continue;
+                    }
+                    for (a, v) in row.iter().enumerate() {
+                        claims.add(row_entity[r], a, v.clone(), *src);
+                    }
+                }
+                for (e, a) in claims.slots() {
+                    self.working.mark_clean(Artifact::FusedSlot(e, a));
+                }
+                let source_ctx = SourceContext {
+                    trust: rec.trust,
+                    age: rec.age,
+                };
+                let fused: HashMap<(usize, usize), FusedValue> = // hash-ok: keyed by slot, read via get()
+                    rec.fused.into_iter().map(|(e, a, f)| ((e, a), f)).collect();
+                (claims, source_ctx, fused)
+            }
+            None => {
         let mut fuse_removed: Vec<usize> = Vec::new();
         {
             let mut guard = StageGuard::new(Stage::Fuse, &policy, creport);
@@ -1470,7 +1961,25 @@ impl Wrangler {
         }
         self.obs.count("fuse.slots", slots_fused);
         self.obs.count("fuse.slots_skipped", slots_skipped);
+        let mut sorted: Vec<(usize, usize, FusedValue)> = fused
+            .iter()
+            .map(|(&(e, a), f)| (e, a, f.clone()))
+            .collect();
+        sorted.sort_unstable_by_key(|&(e, a, _)| (e, a));
+        let out = ckpt_io::FuseOut {
+            selected: selected.clone(),
+            fuse_removed: fuse_removed.clone(),
+            trust: source_ctx.trust.clone(),
+            age: source_ctx.age.clone(),
+            fused: sorted,
+        }
+        .encode();
+        self.ckpt_save("fuse", k_fuse, creport, &out);
+        (claims, source_ctx, fused)
+            }
+        };
         self.obs.end();
+        self.crash_fire(CrashSite::AfterFuse);
 
         self.cache = Some(WrangleCache {
             union,
@@ -1521,6 +2030,11 @@ impl Wrangler {
             candidates.dedup();
         }
         self.working.work.er_pairs += candidates.len();
+        // Mid-stage crash site: after candidate generation, before scoring —
+        // the worst place to die (ER dominates wall-clock), which is exactly
+        // why the harness injects here. No seam has persisted for this
+        // stage yet, so resume replays up to the union and re-runs ER.
+        self.crash_fire(CrashSite::MidEr);
         // Score through the precompiled kernel: the ER config is compiled
         // once against the union schema (an unknown column errors before any
         // scoring), per-row renderings/token sets are cached, and only pairs

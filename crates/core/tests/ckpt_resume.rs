@@ -1,0 +1,346 @@
+//! Crash → resume integration: kill a wrangle at every stage seam, rebuild
+//! the session from scratch (simulating process restart), point it at the
+//! same checkpoint store, and demand the resumed outcome be *byte-identical*
+//! (`f64::to_bits` via the canonical table hash) to an uninterrupted run —
+//! with quarantine, trust and breaker state preserved. Torn or bit-flipped
+//! checkpoints must be detected and recomputed, never loaded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use wrangler_context::{DataContext, Ontology, UserContext};
+use wrangler_core::{
+    scratch_dir, CheckpointStore, CrashPolicy, CrashSite, WrangleOutcome, Wrangler,
+};
+use wrangler_sources::faults::FaultConfig;
+use wrangler_sources::{FleetConfig, SyntheticFleet};
+use wrangler_table::{wire, DataType, Schema, Table, Value};
+
+fn make_fleet(seed: u64) -> SyntheticFleet {
+    let cfg = FleetConfig {
+        num_products: 60,
+        num_sources: 8,
+        now: 20,
+        coverage: (0.3, 0.8),
+        error_rate: (0.02, 0.25),
+        null_rate: (0.0, 0.1),
+        staleness: (0, 10),
+        ..FleetConfig::default()
+    };
+    wrangler_sources::synthetic::generate_fleet(&cfg, seed)
+}
+
+fn target_sample(fleet: &SyntheticFleet) -> Table {
+    let catalog = fleet.truth.master_catalog();
+    let mut fields = catalog.schema().fields().to_vec();
+    fields.push(wrangler_table::Field::new("price", DataType::Float));
+    let schema = Schema::new(fields).unwrap();
+    let mut columns: Vec<Vec<Value>> = (0..catalog.num_columns())
+        .map(|i| catalog.column(i).unwrap().to_vec())
+        .collect();
+    columns.push(vec![Value::Null; catalog.num_rows()]);
+    Table::from_columns(schema, columns).unwrap()
+}
+
+/// Build the session exactly the same way every time — the restart
+/// discipline resume depends on: same fleet seed, same config, same
+/// (optional) fault injection.
+fn build(fleet: &SyntheticFleet, faults: Option<&FaultConfig>) -> Wrangler {
+    let mut ctx = DataContext::with_ontology(Ontology::ecommerce());
+    ctx.add_master("product", fleet.truth.master_catalog(), "sku")
+        .unwrap();
+    let mut w = Wrangler::new(
+        UserContext::balanced("resume-test"),
+        ctx,
+        target_sample(fleet),
+    );
+    w.set_now(fleet.truth.now);
+    for s in fleet.registry.iter() {
+        w.add_source(s.meta.clone(), s.table.clone());
+    }
+    w = w.with_er_workers(2).with_fuse_workers(2);
+    if let Some(cfg) = faults {
+        w.inject_faults(cfg);
+    }
+    w
+}
+
+/// Everything byte-identity covers: the delivered table (canonical wire
+/// hash, `f64::to_bits` exact), the selection, the acquisition story, and
+/// the session's post-pass trust/breaker/containment state.
+fn fingerprint(w: &Wrangler, out: &WrangleOutcome) -> (u64, String) {
+    let table = wire::table_hash(&out.table);
+    let state = format!(
+        "sel={:?} skip={:?} deg={:?} att={} ticks={} cost={} ent={} util={} trust={:?} breakers={:?} contain={}",
+        out.selected_sources,
+        out.skipped_sources,
+        out.degraded_sources,
+        out.acquisition_attempts,
+        out.acquisition_ticks,
+        out.cost_spent.to_bits(),
+        out.entities,
+        out.utility.to_bits(),
+        (0..w.num_sources())
+            .map(|i| w.source_trust(wrangler_sources::SourceId(i as u32)).to_bits())
+            .collect::<Vec<_>>(),
+        (0..w.num_sources())
+            .map(|i| w.acquisition.breaker_state(i))
+            .collect::<Vec<_>>(),
+        out.containment.render(),
+    );
+    (table, state)
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir); // lint-allow: test scratch cleanup
+}
+
+/// Run the crash half: a fresh session with the store attached and a panic
+/// armed at `site`. Returns true if the pass was actually interrupted
+/// (panicked at the seam, or surfaced as a structured error when the panic
+/// was caught by a containment wrapper).
+fn crash_at(fleet: &SyntheticFleet, faults: Option<&FaultConfig>, dir: &Path, site: CrashSite) -> bool {
+    let store = CheckpointStore::open(dir).unwrap();
+    let mut w = build(fleet, faults)
+        .with_checkpoint_store(store)
+        .with_crash_policy(CrashPolicy::panic_at(site));
+    match catch_unwind(AssertUnwindSafe(|| w.wrangle())) {
+        Err(_) => true,       // panicked at the seam
+        Ok(Err(_)) => true,   // caught by a containment wrapper, surfaced as Err
+        Ok(Ok(_)) => false,   // completed — the site was never reached
+    }
+}
+
+#[test]
+fn resume_is_byte_identical_at_every_crash_site() {
+    let fleet = make_fleet(42);
+    // Cold reference: no store, no crash.
+    let mut cold = build(&fleet, None);
+    let cold_out = cold.wrangle().unwrap();
+    let cold_fp = fingerprint(&cold, &cold_out);
+
+    for site in CrashSite::all() {
+        let dir = scratch_dir(&format!("resume-{}", site.name()));
+        cleanup(&dir);
+        let interrupted = crash_at(&fleet, None, &dir, site);
+        assert!(interrupted, "{site:?}: crash policy did not fire");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(
+            store.num_records() > 0,
+            "{site:?}: no checkpoints persisted before the crash"
+        );
+        // Restart: a fresh session (new process) pointed at the same store.
+        let mut resumed = build(&fleet, None).with_checkpoint_store(store);
+        let out = resumed.resume().unwrap();
+        assert_eq!(
+            fingerprint(&resumed, &out),
+            cold_fp,
+            "{site:?}: resumed outcome diverged from the uninterrupted run"
+        );
+        // The prefix replayed from checkpoints rather than recomputing.
+        let hits: u64 = ["select", "acquire", "map_generate", "map_apply", "union", "er", "fuse"]
+            .iter()
+            .map(|s| {
+                out.metrics
+                    .counts
+                    .get(&format!("ckpt.{s}.hits"))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(hits > 0, "{site:?}: resume replayed nothing");
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn resume_preserves_quarantine_and_breaker_state_under_faults() {
+    let fleet = make_fleet(7);
+    let faults = FaultConfig::with_rate(0.5, 99);
+    let mut cold = build(&fleet, Some(&faults));
+    let cold_out = cold.wrangle().unwrap();
+    let cold_fp = fingerprint(&cold, &cold_out);
+    assert!(
+        !cold_out.skipped_sources.is_empty() || !cold_out.degraded_sources.is_empty(),
+        "fixture should actually exercise faults"
+    );
+
+    for site in [CrashSite::AfterAcquire, CrashSite::MidEr, CrashSite::AfterFuse] {
+        let dir = scratch_dir(&format!("resume-faults-{}", site.name()));
+        cleanup(&dir);
+        let interrupted = crash_at(&fleet, Some(&faults), &dir, site);
+        assert!(interrupted, "{site:?}: crash policy did not fire");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut resumed = build(&fleet, Some(&faults)).with_checkpoint_store(store);
+        let out = resumed.resume().unwrap();
+        assert_eq!(
+            fingerprint(&resumed, &out),
+            cold_fp,
+            "{site:?}: trust/breaker/containment state diverged after resume"
+        );
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn torn_and_bitflipped_checkpoints_are_never_loaded() {
+    let fleet = make_fleet(11);
+    let mut cold = build(&fleet, None);
+    let cold_out = cold.wrangle().unwrap();
+    let cold_fp = fingerprint(&cold, &cold_out);
+
+    for truncate in [Some(0.5), None] {
+        let label = if truncate.is_some() { "torn" } else { "bitflip" };
+        let dir = scratch_dir(&format!("resume-{label}"));
+        cleanup(&dir);
+        // Populate the store with a full run, then corrupt every record.
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            let mut w = build(&fleet, None).with_checkpoint_store(store);
+            w.wrangle().unwrap();
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        let corrupted = store.corrupt_all_records(truncate);
+        assert!(corrupted > 0);
+        let mut resumed = build(&fleet, None).with_checkpoint_store(store);
+        let out = resumed.resume().unwrap();
+        // Corruption detected, nothing loaded, everything recomputed — and
+        // the recomputed outcome is still byte-identical.
+        assert_eq!(
+            fingerprint(&resumed, &out),
+            cold_fp,
+            "{label}: output diverged after recomputing corrupt checkpoints"
+        );
+        let stats = resumed.checkpoint_store().unwrap().stats();
+        assert_eq!(
+            stats.torn_detected, corrupted as u64,
+            "{label}: every corrupt record must be flagged"
+        );
+        assert_eq!(stats.hits, 0, "{label}: a corrupt snapshot was loaded");
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn full_replay_restores_pair_cache_and_counters() {
+    let fleet = make_fleet(23);
+    let mut first = {
+        let dir = scratch_dir("replay-pair-cache");
+        cleanup(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        build(&fleet, None).with_checkpoint_store(store)
+    };
+    let out1 = first.wrangle().unwrap();
+    let cache_len = first.working.pair_scores.len();
+    let work = first.working.work;
+    assert!(cache_len > 0, "ER should have populated the pair cache");
+
+    // Fresh process, same store: every seam hits; the ER pair-score cache
+    // and the work counters come back from the checkpoint, not from
+    // recomputation.
+    let dir = first.checkpoint_store().unwrap().dir().to_path_buf();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let mut second = build(&fleet, None).with_checkpoint_store(store);
+    let out2 = second.resume().unwrap();
+    assert_eq!(
+        wire::table_hash(&out1.table),
+        wire::table_hash(&out2.table)
+    );
+    assert_eq!(second.working.pair_scores.len(), cache_len);
+    assert_eq!(second.working.work, work);
+    assert_eq!(out2.metrics.counts.get("ckpt.fuse.hits"), Some(&1));
+    assert_eq!(out2.metrics.counts.get("er.cache.misses"), None);
+    cleanup(&dir);
+}
+
+#[test]
+fn resume_without_store_is_a_structured_error() {
+    let fleet = make_fleet(3);
+    let mut w = build(&fleet, None);
+    let err = w.resume().unwrap_err();
+    assert!(err.to_string().contains("checkpoint store"));
+}
+
+// ---------------------------------------------------------------------------
+// Property: for ANY (crash site, fleet, fault profile, containment mode),
+// crash-then-resume is indistinguishable from never having crashed — same
+// table bytes, same trust/breaker/containment state, or the same structured
+// error when the uninterrupted run itself fails.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use wrangler_core::ContainPolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn resume_matches_cold_run_for_any_crash_and_fault_mix(
+        site_idx in 0usize..8,
+        fleet_seed in 0u64..4,
+        fault_rate in 0.0f64..=0.5,
+        fault_seed in any::<u64>(),
+        mode in 0u8..3,
+    ) {
+        let site = CrashSite::all()[site_idx];
+        let fleet = make_fleet(1000 + fleet_seed);
+        let faults = FaultConfig::with_rate(fault_rate, fault_seed);
+        let policy = match mode {
+            0 => ContainPolicy::contain(),
+            1 => ContainPolicy::abort(),
+            _ => ContainPolicy::off(),
+        };
+        let session = || build(&fleet, Some(&faults)).with_contain_policy(policy.clone());
+
+        let mut cold = session();
+        let cold_run = cold.wrangle();
+
+        let dir = scratch_dir(&format!(
+            "prop-{}-{}-{}-{:x}-{}",
+            site.name(),
+            fleet_seed,
+            fault_rate.to_bits(),
+            fault_seed,
+            mode
+        ));
+        cleanup(&dir);
+        {
+            let store = CheckpointStore::open(&dir).unwrap();
+            let mut w = session()
+                .with_checkpoint_store(store)
+                .with_crash_policy(CrashPolicy::panic_at(site));
+            let _ = catch_unwind(AssertUnwindSafe(|| w.wrangle()));
+        }
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut resumed = session().with_checkpoint_store(store);
+        let resumed_run = resumed.resume();
+
+        match (cold_run, resumed_run) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(
+                    fingerprint(&cold, &a),
+                    fingerprint(&resumed, &b),
+                    "resume diverged (site {:?}, mode {})", site, mode
+                );
+            }
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "resume must fail identically (site {:?}, mode {})", site, mode
+                );
+            }
+            (a, b) => {
+                cleanup(&dir);
+                return Err(format!(
+                    "cold {:?} vs resumed {:?} disagree on success (site {:?}, mode {})",
+                    a.map(|o| o.entities),
+                    b.map(|o| o.entities),
+                    site,
+                    mode
+                ));
+            }
+        }
+        cleanup(&dir);
+    }
+}

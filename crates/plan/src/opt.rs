@@ -378,6 +378,29 @@ impl PlanProgram {
         })
     }
 
+    /// Stable fingerprint of the compiled program: a content hash over the
+    /// executing IR (nodes, kinds, typed schemas, filter placements, effect
+    /// annotations) and the applied-rewrite ledger, via the canonical wire
+    /// hasher. Two compilations that would execute identically fingerprint
+    /// identically across processes; any structural change — a different
+    /// source set, binding, placement, threshold or rewrite — changes it.
+    /// The checkpoint store mixes this into every stage content key, so a
+    /// plan change invalidates all stage records at once.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = wrangler_table::wire::Hasher64::new();
+        // The IR types are plain data with derived `Debug`; the rendering is
+        // a deterministic, total serialization of the structure, and the
+        // hasher collapses it to a key. (f64 fields like thresholds render
+        // with full precision under `{:?}`.)
+        h.write_str("plan-ir").write_str(&format!("{:?}", self.ir));
+        h.write_str("scan-barrier").write_u64(u64::from(self.ir.scan_barrier));
+        h.write_str("rewrites");
+        for rw in &self.rewrites {
+            h.write_str(&format!("{rw:?}"));
+        }
+        h.finish()
+    }
+
     /// The row filter predicate, if the plan has one.
     pub fn predicate(&self) -> Option<&Expr> {
         self.ir.filter_node().and_then(|n| match &n.kind {

@@ -154,6 +154,15 @@ impl SourceRegistry {
         self.faults.is_some()
     }
 
+    /// Stable content hash of a source's registered payload (the table as
+    /// delivered by extraction, before any fault-layer degradation). Equal
+    /// hashes across runs/processes mean byte-identical payloads under the
+    /// canonical wire encoding; the checkpoint store keys stage records on
+    /// these, so a re-registered-but-unchanged source replays from disk.
+    pub fn payload_hash(&self, id: SourceId) -> Option<u64> {
+        self.get(id).map(|s| wrangler_table::wire::table_hash(&s.table))
+    }
+
     /// Fallible acquisition of a source's payload at virtual tick `now`,
     /// tolerating at most `deadline` ticks of latency for this attempt.
     ///
@@ -211,6 +220,22 @@ mod tests {
         assert_eq!(id, SourceId(0));
         assert_eq!(reg.get(id).unwrap().meta.access_cost, 2.0);
         assert_eq!(reg.get(id).unwrap().meta.last_updated, 7);
+    }
+
+    #[test]
+    fn payload_hash_is_stable_and_content_sensitive() {
+        use wrangler_table::Value;
+        let mut t = Table::empty(Schema::of_strs(&["x"]));
+        t.push_row(vec![Value::Str("a".into())]).unwrap();
+        let mut reg = SourceRegistry::new();
+        let a = reg.register("siteA", t.clone());
+        let b = reg.register("siteB", t.clone());
+        assert_eq!(reg.payload_hash(a), reg.payload_hash(b));
+        let mut t2 = t.clone();
+        t2.push_row(vec![Value::Str("b".into())]).unwrap();
+        let c = reg.register("siteC", t2);
+        assert_ne!(reg.payload_hash(a), reg.payload_hash(c));
+        assert_eq!(reg.payload_hash(SourceId(9)), None);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   for file-based sources;
 //! * per-column statistics ([`stats`]) consumed by quality profiling;
 //! * the deterministic blocked worker pool ([`par`]) shared by the compute
-//!   kernels (ER scoring, slot fusion, schema-matching generation).
+//!   kernels (ER scoring, slot fusion, schema-matching generation);
+//! * a canonical binary wire format ([`wire`]) with `f64::to_bits`-exact
+//!   value round-trips and a stable content hash, the payload encoding of
+//!   the `wrangler-ckpt` checkpoint store.
 //!
 //! The design goal is a dependency-free, deterministic core: no I/O beyond
 //! strings, no randomness, so all downstream experiments are reproducible.
@@ -31,6 +34,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod wire;
 
 pub use error::TableError;
 pub use expr::Expr;

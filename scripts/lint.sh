@@ -30,6 +30,13 @@
 #      compiled program through its decision API, never raw nodes).
 #      Justify a true exception with a `lint-allow: <reason>` comment.
 #
+#   6. No direct `std::fs::write` / `File::create` in library `src/`
+#      outside `wrangler-ckpt`. A raw write is not atomic: a crash between
+#      create and flush leaves a torn file that a later reader may trust.
+#      All persistence goes through `wrangler_ckpt::write_atomic` (temp +
+#      rename) or the checkpoint store built on it. Justify a true
+#      exception with a `lint-allow: <reason>` comment.
+#
 # Scanning stops at the first `#[cfg(test)]` in a file: this repo keeps test
 # modules at the end of each source file.
 set -euo pipefail
@@ -176,6 +183,33 @@ done)
 if [ -n "$opkind_hits" ]; then
   echo "lint: OpKind:: constructed in wrangler-core outside crates/core/src/lower.rs (lower there, or add \`// lint-allow: <reason>\`):"
   echo "$opkind_hits"
+  fail=1
+fi
+
+# --- Rule 6: non-atomic file writes outside wrangler-ckpt ---------------------
+# `std::fs::write` / `File::create` in library code can tear on a crash;
+# wrangler-ckpt owns the atomic temp+rename primitive and is the only crate
+# allowed to touch the raw APIs (it is what makes everyone else safe).
+scan_raw_writes() {
+  local f="$1"
+  awk -v file="$f" '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }  # comment / doc-example lines
+    /fs::write[[:space:](]|File::create[[:space:](]/ {
+      if ($0 !~ /lint-allow:/) {
+        printf "%s:%d: %s\n", file, FNR, $0
+      }
+    }
+  ' "$f"
+}
+
+raw_write_hits=$(for f in $(lib_sources); do
+  case "$f" in crates/ckpt/src/*) continue ;; esac
+  scan_raw_writes "$f"
+done)
+if [ -n "$raw_write_hits" ]; then
+  echo "lint: direct fs::write/File::create in library code (use wrangler_ckpt::write_atomic, or add \`// lint-allow: <reason>\`):"
+  echo "$raw_write_hits"
   fail=1
 fi
 

@@ -58,6 +58,12 @@ echo "==> e16 plan optimization (full run + count/rewrite-ledger determinism)"
 ./target/release/e16_plan_opt --counts > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
+echo "==> e17 crash recovery (full run + resumed-run count determinism)"
+./target/release/e17_crash_recovery
+./target/release/e17_crash_recovery --counts > "$tmp_a"
+./target/release/e17_crash_recovery --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
 echo "==> lint baseline ratchet (new findings vs lint-baseline.json fail)"
 ./target/release/lint_gate
 

@@ -57,8 +57,8 @@ pub use wrangler_uncertainty as uncertainty;
 pub mod prelude {
     pub use wrangler_context::{Criterion, DataContext, Ontology, QualityVector, UserContext};
     pub use wrangler_core::{
-        suggest_feedback_targets, ChaosPolicy, ContainPolicy, ContainmentReport, OptMode, Plan,
-        PlanProgram, UncertainView, WrangleOutcome, Wrangler,
+        suggest_feedback_targets, ChaosPolicy, CheckpointStore, ContainPolicy, ContainmentReport,
+        OptMode, Plan, PlanProgram, UncertainView, WrangleOutcome, Wrangler,
     };
     pub use wrangler_feedback::{FeedbackItem, FeedbackTarget, RoutingMode, Verdict};
     pub use wrangler_lint::{Diagnostic, GateMode, Report, Severity};
