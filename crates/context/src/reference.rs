@@ -30,21 +30,26 @@ pub struct MasterData {
     pub key_column: String,
     /// Key values, pre-indexed for O(1) membership tests.
     keys: HashSet<Value>,
+    /// Key → row of its *first* occurrence in the key column, matching the
+    /// linear-scan semantics `lookup` always had (duplicate keys resolve to
+    /// the earliest row).
+    row_of_key: HashMap<Value, usize>, // hash-ok: lookup-only, never iterated
 }
 
 impl MasterData {
     /// Index a master table by its key column.
     pub fn new(table: Table, key_column: &str) -> wrangler_table::Result<Self> {
-        let keys: HashSet<Value> = table
-            .column_named(key_column)?
-            .iter()
-            .filter(|v| !v.is_null())
-            .cloned()
-            .collect();
+        let kcol = table.column_named(key_column)?;
+        let keys: HashSet<Value> = kcol.iter().filter(|v| !v.is_null()).cloned().collect();
+        let mut row_of_key: HashMap<Value, usize> = HashMap::with_capacity(keys.len()); // hash-ok: lookup-only
+        for (idx, v) in kcol.iter().enumerate() {
+            row_of_key.entry(v.clone()).or_insert(idx);
+        }
         Ok(MasterData {
             table,
             key_column: key_column.to_string(),
             keys,
+            row_of_key,
         })
     }
 
@@ -63,10 +68,12 @@ impl MasterData {
         self.keys.is_empty()
     }
 
-    /// Look up the master value of `column` for the entity with the given key.
+    /// Look up the master value of `column` for the entity with the given
+    /// key. O(1) through the first-occurrence index (it used to rescan the
+    /// key column on every call, which dominated anchor building on large
+    /// catalogs).
     pub fn lookup(&self, key: &Value, column: &str) -> Option<Value> {
-        let kcol = self.table.column_named(&self.key_column).ok()?;
-        let idx = kcol.iter().position(|v| v == key)?;
+        let idx = *self.row_of_key.get(key)?;
         self.table.get_named(idx, column).ok().cloned()
     }
 }
@@ -167,6 +174,20 @@ mod tests {
         assert!(!m.contains_key(&"zz".into()));
         assert_eq!(m.lookup(&"a2".into(), "name"), Some("Gadget".into()));
         assert_eq!(m.lookup(&"zz".into(), "name"), None);
+    }
+
+    #[test]
+    fn lookup_resolves_duplicate_keys_to_first_row() {
+        let t = Table::literal(
+            &["sku", "name"],
+            vec![
+                vec!["a1".into(), "First".into()],
+                vec!["a1".into(), "Second".into()],
+            ],
+        )
+        .unwrap();
+        let m = MasterData::new(t, "sku").unwrap();
+        assert_eq!(m.lookup(&"a1".into(), "name"), Some("First".into()));
     }
 
     #[test]

@@ -441,8 +441,10 @@ pub struct SessionState {
     pub acq_total_backoff: u64,
     /// Acquisition engine: the per-source breaker fleet.
     pub breakers: Vec<CircuitBreaker>,
-    /// ER pair-score cache entries, in key order.
-    pub pair_entries: Vec<(String, f64)>,
+    /// ER pair-score cache entries, in key order: key, score, and the
+    /// source pair that produced the score (the partition-scoped eviction
+    /// grain — see `PairScoreCache::evict_sources`).
+    pub pair_entries: Vec<(String, f64, u32, u32)>,
     /// Pair-cache hit counter.
     pub pair_hits: u64,
     /// Pair-cache miss counter.
@@ -476,8 +478,8 @@ impl SessionState {
             enc_breaker(&mut e, b);
         }
         e.usize(self.pair_entries.len());
-        for (k, v) in &self.pair_entries {
-            e.str(k).f64(*v);
+        for (k, v, a, b) in &self.pair_entries {
+            e.str(k).f64(*v).u64(*a as u64).u64(*b as u64);
         }
         e.u64(self.pair_hits).u64(self.pair_misses);
         e.usize(self.work.extractions)
@@ -517,7 +519,10 @@ impl SessionState {
         let mut pair_entries = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
             let k = d.str()?;
-            pair_entries.push((k, d.f64()?));
+            let score = d.f64()?;
+            let a = d.u64()? as u32;
+            let b = d.u64()? as u32;
+            pair_entries.push((k, score, a, b));
         }
         let pair_hits = d.u64()?;
         let pair_misses = d.u64()?;
@@ -936,7 +941,10 @@ mod tests {
                 ),
                 CircuitBreaker::from_parts(BreakerConfig::default(), BreakerState::HalfOpen, 0, 1),
             ],
-            pair_entries: vec![("5#a|b".into(), 0.875), ("9#x|y|z".into(), -0.0)],
+            pair_entries: vec![
+                ("5#a|b".into(), 0.875, 0, 2),
+                ("9#x|y|z".into(), -0.0, 1, 1),
+            ],
             pair_hits: 4,
             pair_misses: 9,
             work: WorkCounters {

@@ -34,6 +34,7 @@ pub mod baseline;
 pub mod ckpt_io;
 pub mod contain;
 pub mod eval;
+pub mod incr;
 pub mod lower;
 pub mod planner;
 pub mod provenance;

@@ -34,6 +34,7 @@ use wrangler_table::wire;
 
 use crate::acquire::{Acquisition, AcquisitionSummary};
 use crate::ckpt_io::{self, SessionState};
+use crate::incr::{self, BlockMemo, ErMemo, FuseMemo, IncrEngine};
 use crate::contain::{
     catch_quiet, poison_reason, ContainMode, ContainPolicy, ContainmentReport, Guarded, Stage,
     StageGuard,
@@ -85,6 +86,26 @@ struct WrangleCache {
 struct ErStageOutcome {
     clusters: Vec<Vec<usize>>,
     row_entity: Vec<usize>,
+}
+
+/// Incremental-engine context threaded into [`Wrangler::er_stage`]: the
+/// union's block layout and row→source map (pair-cache eviction grain),
+/// the stage content key, and whether memo store / index remap are licensed
+/// for this pass.
+struct ErIncrCtx<'a> {
+    /// `(source, block key, rows)` per union block; empty disables remap
+    /// and layout-carrying memo storage.
+    layout: &'a [(usize, u64, usize)],
+    /// Source of every union row (tags fresh pair-cache inserts).
+    union_srcs: &'a [usize],
+    /// Full-stage content key to store the new memo under.
+    er_key: u64,
+    pass_fp: u64,
+    prog_fp: u64,
+    /// Store a fresh memo after computing (engine on, chaos off).
+    store: bool,
+    /// Consult the previous memo's packed scores via index remap.
+    remap: bool,
 }
 
 /// The result of a wrangle.
@@ -205,6 +226,10 @@ pub struct Wrangler {
     /// Optional crash-injection policy (test/bench harness): deterministic
     /// panic or process exit at one stage seam.
     crash: Option<CrashPolicy>,
+    /// The incremental dataflow engine: per-source union block memos plus
+    /// whole-stage ER/fuse memos, all content-keyed off the pass
+    /// fingerprint (see [`crate::incr`]). On by default.
+    incr: IncrEngine,
 }
 
 impl Wrangler {
@@ -247,6 +272,7 @@ impl Wrangler {
             last_program: None,
             ckpt: None,
             crash: None,
+            incr: IncrEngine::new(),
         }
     }
 
@@ -295,6 +321,78 @@ impl Wrangler {
         self.working.invalidate(Artifact::Clusters);
         self.working.invalidate(Artifact::Result);
         self.cache = None;
+        // Shape-keyed memos would miss anyway (the pass fingerprint covers
+        // every shape knob); dropping them bounds memory to live content.
+        self.incr.clear();
+    }
+
+    /// Enable/disable the incremental dataflow engine (default: on).
+    /// Disabling drops every stage memo AND the content-keyed pair-score
+    /// cache: the resulting session recomputes everything from scratch,
+    /// making it the genuinely cold comparator the identity tests and the
+    /// E18 timing baseline wrangle against.
+    pub fn set_incr_enabled(&mut self, on: bool) {
+        self.incr.set_enabled(on);
+        if !on {
+            self.working.pair_scores.clear();
+        }
+    }
+
+    /// Is the incremental dataflow engine on?
+    pub fn incr_enabled(&self) -> bool {
+        self.incr.enabled()
+    }
+
+    /// Number of live incremental memos (union blocks + ER + fuse).
+    pub fn incr_memo_count(&self) -> usize {
+        self.incr.memo_count()
+    }
+
+    /// Deliver a fresh extraction of one source's payload — the
+    /// pay-as-you-go update path. Diffs the content hash first: an
+    /// identical payload is a no-op (nothing dirtied, every memo intact).
+    /// A real change bumps the source's `last_updated` to the current tick,
+    /// dirties exactly that source's derivation chain, evicts only the ER
+    /// pair scores touching its rows, and forgets its union block memo —
+    /// the next wrangle recomputes that partition and reuses the rest.
+    /// Returns true if the payload actually changed; errors on an unknown
+    /// id or a schema that no longer matches the registered payload's.
+    pub fn update_source(&mut self, id: SourceId, table: Table) -> wrangler_table::Result<bool> {
+        let i = id.0 as usize;
+        let Some(existing) = self.registry.get(id) else {
+            return Err(TableError::Unavailable(format!("{id}: not registered")));
+        };
+        if existing.table.schema() != table.schema() {
+            return Err(TableError::Invalid(format!(
+                "{id}: update changes the source schema; register a new source instead"
+            )));
+        }
+        let new_hash = wire::table_hash(&table);
+        let prev_hash = self
+            .registry
+            .update_table(id, table)
+            .unwrap_or(new_hash ^ 1);
+        if prev_hash == new_hash {
+            return Ok(false);
+        }
+        if let Some(src) = self.registry.get_mut(id) {
+            src.meta.last_updated = self.now;
+        }
+        // Dirty exactly this source's chain. Clusters/fusion recompute is
+        // driven by the content keys (the union changes ⇒ the ER key
+        // misses), not by a blanket invalidation — that is what lets the
+        // other n−1 partitions replay.
+        self.working.invalidate(Artifact::Extraction(i));
+        self.working.invalidate(Artifact::Mapping(i));
+        self.working.invalidate(Artifact::MappedTable(i));
+        self.working.invalidate(Artifact::Result);
+        self.working.work.extractions += 1;
+        let (evicted, retained) = self.working.pair_scores.evict_sources(&[i]);
+        self.obs.count("incr.pair_cache.evicted", evicted as u64);
+        self.obs.count("incr.pair_cache.retained", retained as u64);
+        self.incr.forget_source(i);
+        self.cache = None;
+        Ok(true)
     }
 
     /// Replace the stage-level containment policy (default:
@@ -648,7 +746,7 @@ impl Wrangler {
                 .working
                 .pair_scores
                 .entries()
-                .map(|(k, v)| (k.to_string(), v))
+                .map(|(k, v, a, b)| (k.to_string(), v, a, b))
                 .collect(),
             pair_hits: self.working.pair_scores.hits(),
             pair_misses: self.working.pair_scores.misses(),
@@ -1021,7 +1119,16 @@ impl Wrangler {
         // the whole upstream prefix matched.
         self.obs.begin("select");
         let ckpt_on = self.ckpt.is_some();
-        let pass_fp = if ckpt_on { self.pass_fingerprint(&plan) } else { 0 };
+        // The incremental engine shares the checkpoint machinery's content
+        // keys. It stands down for chaos passes wholesale: fault rolls are
+        // stateful (each guarded region advances the chaos RNG), so skipping
+        // a memoized region would change which sources later rolls hit.
+        let incr_on = self.incr.enabled() && policy.chaos.is_none();
+        let pass_fp = if ckpt_on || incr_on {
+            self.pass_fingerprint(&plan)
+        } else {
+            0
+        };
         let k_select = if ckpt_on { self.seam_key_select(pass_fp) } else { 0 };
         let selected: Vec<SourceId> = match self.ckpt_load("select", k_select, creport) {
             Some(out) => ckpt_io::SelectOut::decode(&out)?.selected,
@@ -1352,7 +1459,7 @@ impl Wrangler {
         }
         self.obs.end();
         self.obs.begin("map_apply");
-        let prog_fp = if ckpt_on {
+        let prog_fp = if ckpt_on || incr_on {
             self.last_program.as_ref().map(|p| p.fingerprint()).unwrap_or(0)
         } else {
             0
@@ -1530,6 +1637,11 @@ impl Wrangler {
         } else {
             0
         };
+        // Union block layout of this pass: `(source, block key, rows)` per
+        // contiguous block, in union order — the ER remap fast path's
+        // coordinate system. Left empty when the engine is off or the union
+        // replayed from a checkpoint (no keys to attest the blocks).
+        let mut union_layout: Vec<(usize, u64, usize)> = Vec::new();
         let union: Vec<(usize, Vec<Value>)> = match self.ckpt_load("union", k_union, creport) {
             Some(out) => {
                 let rec = ckpt_io::UnionOut::decode(&out)?;
@@ -1546,13 +1658,63 @@ impl Wrangler {
             },
             _ => None,
         };
+        // Per-source block content keys: the pass/program fingerprints plus
+        // everything this source's union block derives from — its effective
+        // payload (the degraded delivery when there was one, the registry
+        // content otherwise), its mapping, and the filter placement its
+        // mapped table was computed under. Equal key ⇒ the live loop below
+        // would reproduce the block byte-for-byte.
+        let block_keys: BTreeMap<usize, u64> = if incr_on {
+            selected
+                .iter()
+                .map(|id| {
+                    let i = id.0 as usize;
+                    let payload = match degraded_tables.get(&i) {
+                        Some(t) => wire::table_hash(t),
+                        None => self.registry.payload_hash(*id).unwrap_or(0),
+                    };
+                    let mapping =
+                        wire::hash64(format!("{:?}", self.states[i].mapping).as_bytes());
+                    let tag =
+                        wire::hash64(format!("{:?}", self.states[i].filter_tag).as_bytes());
+                    // Deliberately NOT the whole-program fingerprint: a dirty
+                    // source's regenerated mapping changes its own Map node
+                    // and with it the global IR hash, which would miss every
+                    // clean block. The union loop reads only this source's
+                    // slice of the program — its filter placement (the
+                    // predicate text is pass_fp-covered) — so the key pins
+                    // exactly that.
+                    let place = self
+                        .last_program
+                        .as_ref()
+                        .map(|p| format!("{:?}", p.placement_for(i)))
+                        .unwrap_or_default();
+                    let key = ContentKey::stage("union-block", pass_fp)
+                        .labelled("place", wire::hash64(place.as_bytes()))
+                        .labelled("src", i as u64)
+                        .input(payload)
+                        .input(mapping)
+                        .input(tag)
+                        .finish();
+                    (i, key)
+                })
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         let mut scan_union_cells = 0u64;
         let mut union_filtered = 0u64;
         let mut union: Vec<(usize, Vec<Value>)> = Vec::new();
         let mut union_removed: Vec<usize> = Vec::new();
+        let mut blocks_reused = 0u64;
+        let mut blocks_recomputed = 0u64;
+        let mut rows_reused = 0u64;
+        let mut cells_skipped = 0u64;
+        let mut bytes_skipped = 0u64;
         {
             let program = self.last_program.as_ref();
             let states = &self.states;
+            let incr_engine = &mut self.incr;
             let mut guard = StageGuard::new(Stage::Union, &policy, creport);
             for id in &selected {
                 let i = id.0 as usize;
@@ -1567,10 +1729,34 @@ impl Wrangler {
                         .map(|p| p.placement_for(i) == FilterPlacement::Union)
                         .unwrap_or(true)
                 });
+                // Proof-carrying reuse: replay this source's memoized block
+                // only under a matching content key AND the analyzer's
+                // verified fact that the block is isolated to this source.
+                let block_key = block_keys.get(&i).copied();
+                let partition_isolated = program
+                    .map(|p| p.holds(&wrangler_plan::Fact::PartitionIsolated { source: i }))
+                    .unwrap_or(false);
+                if let (Some(key), true) = (block_key, partition_isolated) {
+                    if let Some(memo) = incr_engine.blocks.get(&i) {
+                        if memo.key == key {
+                            union_filtered += memo.filtered;
+                            blocks_reused += 1;
+                            rows_reused += memo.rows.len() as u64;
+                            cells_skipped += memo.scan_cells;
+                            bytes_skipped += memo.scan_bytes;
+                            union_layout.push((i, key, memo.rows.len()));
+                            union.extend(memo.rows.iter().map(|row| (i, row.clone())));
+                            continue;
+                        }
+                    }
+                }
+                let mut this_cells = 0u64;
+                let mut this_bytes = 0u64;
                 if track_scans {
-                    scan_union_cells +=
-                        (mapped.num_rows() as u64) * mapped.num_columns() as u64;
-                    scan_bytes += lower::table_scan_bytes(mapped);
+                    this_cells = (mapped.num_rows() as u64) * mapped.num_columns() as u64;
+                    this_bytes = lower::table_scan_bytes(mapped);
+                    scan_union_cells += this_cells;
+                    scan_bytes += this_bytes;
                 }
                 let mut poison = 0u64;
                 let mut filtered_out = 0u64;
@@ -1625,6 +1811,27 @@ impl Wrangler {
                                 continue;
                             }
                         }
+                        blocks_recomputed += 1;
+                        if let Some(key) = block_key {
+                            union_layout.push((i, key, rows.len()));
+                            // Memoize only clean blocks: a poisoned one must
+                            // recompute live so its row-drop side effects land
+                            // in every pass's containment report. Store only
+                            // under the isolation fact — an unprovable block
+                            // would never be eligible for replay anyway.
+                            if partition_isolated && poison == 0 {
+                                incr_engine.blocks.insert(
+                                    i,
+                                    BlockMemo {
+                                        key,
+                                        rows: rows.iter().map(|(_, r)| r.clone()).collect(),
+                                        filtered: filtered_out,
+                                        scan_cells: this_cells,
+                                        scan_bytes: this_bytes,
+                                    },
+                                );
+                            }
+                        }
                         union.extend(rows);
                     }
                     Guarded::Quarantined => {
@@ -1674,6 +1881,10 @@ impl Wrangler {
                     }
                 }
                 union = kept;
+                // The post-union filter just shifted row indices out from
+                // under the block layout; ER falls back to the content-keyed
+                // pair cache (always sound) instead of index remapping.
+                union_layout.clear();
             }
         }
         self.obs.count("union.rows", union.len() as u64);
@@ -1681,6 +1892,13 @@ impl Wrangler {
         self.obs.count("scan.union.cells", scan_union_cells);
         self.obs.count("scan.filter.cells", scan_filter_cells);
         self.obs.count("scan.bytes", scan_bytes);
+        if incr_on {
+            self.obs.count("incr.union.reused", blocks_reused);
+            self.obs.count("incr.union.recomputed", blocks_recomputed);
+            self.obs.count("incr.union.rows_reused", rows_reused);
+            self.obs.count("incr.union.cells_skipped", cells_skipped);
+            self.obs.count("incr.union.bytes_skipped", bytes_skipped);
+        }
         let out = ckpt_io::UnionOut {
             selected: selected.clone(),
             union: union.clone(),
@@ -1703,62 +1921,153 @@ impl Wrangler {
             t
         };
         self.obs.end();
-        self.obs.begin("er");
-        // ER has no per-source partition (rows from every source interleave
-        // in the candidate pairs), so a panic here cannot be pinned on one
-        // source and quarantined — but it can still be *caught* and turned
-        // into a structured error instead of unwinding through the session.
+        let union_srcs: Vec<usize> = union.iter().map(|(s, _)| *s).collect();
+        let union_hash = if incr_on {
+            wire::table_hash(&union_table)
+        } else {
+            0
+        };
+        let er_key = if incr_on {
+            ContentKey::stage("incr-er", pass_fp)
+                .labelled("prog", prog_fp)
+                .input(union_hash)
+                .finish()
+        } else {
+            0
+        };
+        // An explicitly dirtied clustering (ER rule refined, plan shape
+        // changed, a test forcing recompute) must run live — both the
+        // whole-stage replay and the index-remap fast path stand down.
+        let er_reusable = incr_on && !self.working.is_dirty(Artifact::Clusters);
+        let er_hit = er_reusable && self.incr.er.as_ref().is_some_and(|m| m.key == er_key);
         let k_er = if ckpt_on {
             Self::seam_key("er", pass_fp, chain, prog_fp)
         } else {
             0
         };
-        let er = match self.ckpt_load("er", k_er, creport) {
-            Some(out) => {
-                let rec = ckpt_io::ErOut::decode(&out)?;
-                self.working.mark_clean(Artifact::Clusters);
-                self.obs.count("er.entities", rec.clusters.len() as u64);
-                ErStageOutcome {
-                    clusters: rec.clusters,
-                    row_entity: rec.row_entity,
-                }
-            }
-            None => {
-                let er = if policy.is_off() {
-                    self.er_stage(&union_table)?
-                } else {
-                    match catch_quiet(|| self.er_stage(&union_table)) {
-                        Ok(r) => r?,
-                        Err(msg) => {
-                            creport.caught_panic(Stage::Er);
-                            self.obs.end();
-                            return Err(TableError::Unavailable(format!(
-                                "er stage panicked: {msg}"
-                            )));
-                        }
-                    }
-                };
+        let er = if er_hit {
+            // Whole-stage replay: the union content is unchanged, so the
+            // memoized clustering is byte-identical to a recompute. No "er"
+            // span is opened — a zero-duration span would deflate the
+            // stage's share in `stage_shares` — the reuse surfaces as an
+            // explicit counter, and the replay's own (tiny) cost gets its
+            // own honestly-named span.
+            self.obs.begin("er_replay");
+            let memo = self.incr.er.as_ref().expect("er_hit checked above"); // lint-allow: guarded by er_hit
+            let er = ErStageOutcome {
+                clusters: memo.clusters.clone(),
+                row_entity: memo.row_entity.clone(),
+            };
+            self.working.mark_clean(Artifact::Clusters);
+            self.obs.inc("incr.er.reused");
+            if ckpt_on {
                 let out = ckpt_io::ErOut {
                     clusters: er.clusters.clone(),
                     row_entity: er.row_entity.clone(),
                 }
                 .encode();
                 self.ckpt_save("er", k_er, creport, &out);
-                er
             }
+            self.obs.end();
+            er
+        } else {
+            self.obs.begin("er");
+            // ER has no per-source partition (rows from every source
+            // interleave in the candidate pairs), so a panic here cannot be
+            // pinned on one source and quarantined — but it can still be
+            // *caught* and turned into a structured error instead of
+            // unwinding through the session.
+            let er = match self.ckpt_load("er", k_er, creport) {
+                Some(out) => {
+                    let rec = ckpt_io::ErOut::decode(&out)?;
+                    self.working.mark_clean(Artifact::Clusters);
+                    self.obs.count("er.entities", rec.clusters.len() as u64);
+                    ErStageOutcome {
+                        clusters: rec.clusters,
+                        row_entity: rec.row_entity,
+                    }
+                }
+                None => {
+                    let er_ctx = ErIncrCtx {
+                        layout: &union_layout,
+                        union_srcs: &union_srcs,
+                        er_key,
+                        pass_fp,
+                        prog_fp,
+                        store: incr_on,
+                        remap: er_reusable,
+                    };
+                    let er = if policy.is_off() {
+                        self.er_stage(&union_table, &er_ctx)?
+                    } else {
+                        match catch_quiet(|| self.er_stage(&union_table, &er_ctx)) {
+                            Ok(r) => r?,
+                            Err(msg) => {
+                                creport.caught_panic(Stage::Er);
+                                self.obs.end();
+                                return Err(TableError::Unavailable(format!(
+                                    "er stage panicked: {msg}"
+                                )));
+                            }
+                        }
+                    };
+                    let out = ckpt_io::ErOut {
+                        clusters: er.clusters.clone(),
+                        row_entity: er.row_entity.clone(),
+                    }
+                    .encode();
+                    self.ckpt_save("er", k_er, creport, &out);
+                    er
+                }
+            };
+            self.obs.end();
+            er
         };
         let ErStageOutcome {
             clusters,
             row_entity,
         } = er;
-        self.obs.end();
         self.crash_fire(CrashSite::AfterEr);
         chain = k_er;
 
         // 6. Claims + trust. Fuse-stage chaos rolls first: a source whose
         // partition "panics" here is quarantined before its claims enter
         // the claim set, so its values cannot influence fusion.
-        self.obs.begin("fuse");
+        //
+        // The fuse content key covers every input that can ripple into a
+        // fused value beyond the pass/program fingerprints: the union and
+        // clustering content, every source's belief trust (feedback moves
+        // it), every source's age (fusion decays stale claims), and the
+        // master catalog (anchors steer truthfinder). A 1-source data
+        // update legitimately misses here — its claims shift everyone's
+        // estimated trust — so fusion recomputes; pure replays hit.
+        let fuse_key = if incr_on {
+            let mut h = wire::Hasher64::new();
+            h.write_u64(pass_fp).write_u64(prog_fp).write_u64(union_hash);
+            for &e in &row_entity {
+                h.write_u64(e as u64);
+            }
+            for s in &self.states {
+                h.write_u64(s.trust.probability().to_bits());
+            }
+            for s in self.registry.iter() {
+                h.write_u64(self.now.saturating_sub(s.meta.last_updated));
+            }
+            match self.data_ctx.master("product") {
+                Some(m) => {
+                    h.write_u64(wire::table_hash(&m.table));
+                    h.write_str(&m.key_column);
+                }
+                None => {
+                    h.write_u64(0);
+                }
+            }
+            h.write_u64(self.registry.len() as u64);
+            h.finish()
+        } else {
+            0
+        };
+        let fuse_hit = incr_on && self.incr.fuse.as_ref().is_some_and(|m| m.key == fuse_key);
         let k_fuse = if ckpt_on {
             Self::seam_key("fuse", pass_fp, chain, prog_fp)
         } else {
@@ -1769,7 +2078,52 @@ impl Wrangler {
             ClaimSet,
             SourceContext,
             HashMap<(usize, usize), FusedValue>, // hash-ok: keyed by slot, read via get()
-        ) = match self.ckpt_load("fuse", k_fuse, creport) {
+        ) = if fuse_hit {
+            // Whole-stage replay. No "fuse" span is opened — a near-zero
+            // span would deflate the stage's share in `stage_shares` — but
+            // the replay's own cost (rebuilding claims from the union) is
+            // honestly attributed to its own span. The memo only ever
+            // stores passes where no source was quarantined at fuse, so no
+            // exclusions apply.
+            self.obs.begin("fuse_replay");
+            let memo = self.incr.fuse.as_ref().expect("fuse_hit checked above"); // lint-allow: guarded by fuse_hit
+            let source_ctx = SourceContext {
+                trust: memo.trust.clone(),
+                age: memo.age.clone(),
+            };
+            let fused: HashMap<(usize, usize), FusedValue> = memo // hash-ok: keyed by slot, read via get()
+                .fused
+                .iter()
+                .map(|(e, a, f)| ((*e, *a), f.clone()))
+                .collect();
+            let memo_fused = memo.fused.clone();
+            let mut claims = ClaimSet::new(self.registry.len());
+            claims.rel_tol = plan.fusion_tolerance;
+            for (r, (src, row)) in union.iter().enumerate() {
+                for (a, v) in row.iter().enumerate() {
+                    claims.add(row_entity[r], a, v.clone(), *src);
+                }
+            }
+            for (e, a) in claims.slots() {
+                self.working.mark_clean(Artifact::FusedSlot(e, a));
+            }
+            self.obs.inc("incr.fuse.reused");
+            if ckpt_on {
+                let out = ckpt_io::FuseOut {
+                    selected: selected.clone(),
+                    fuse_removed: Vec::new(),
+                    trust: source_ctx.trust.clone(),
+                    age: source_ctx.age.clone(),
+                    fused: memo_fused,
+                }
+                .encode();
+                self.ckpt_save("fuse", k_fuse, creport, &out);
+            }
+            self.obs.end();
+            (claims, source_ctx, fused)
+        } else {
+            self.obs.begin("fuse");
+            let result = match self.ckpt_load("fuse", k_fuse, creport) {
             Some(out) => {
                 let rec = ckpt_io::FuseOut::decode(&out)?;
                 selected = rec.selected;
@@ -1966,6 +2320,17 @@ impl Wrangler {
             .map(|(&(e, a), f)| (e, a, f.clone()))
             .collect();
         sorted.sort_unstable_by_key(|&(e, a, _)| (e, a));
+        // Memoize the stage for the next pass — only a pass with no
+        // fuse-stage quarantine (chaos is off whenever `incr_on` holds, and
+        // chaos rolls are the only quarantine source here, but be explicit).
+        if incr_on && fuse_removed.is_empty() {
+            self.incr.fuse = Some(FuseMemo {
+                key: fuse_key,
+                trust: source_ctx.trust.clone(),
+                age: source_ctx.age.clone(),
+                fused: sorted.clone(),
+            });
+        }
         let out = ckpt_io::FuseOut {
             selected: selected.clone(),
             fuse_removed: fuse_removed.clone(),
@@ -1977,8 +2342,10 @@ impl Wrangler {
         self.ckpt_save("fuse", k_fuse, creport, &out);
         (claims, source_ctx, fused)
             }
+            };
+            self.obs.end();
+            result
         };
-        self.obs.end();
         self.crash_fire(CrashSite::AfterFuse);
 
         self.cache = Some(WrangleCache {
@@ -2015,7 +2382,11 @@ impl Wrangler {
     /// key), kernel scoring through the content-keyed pair cache, match
     /// filtering and clustering. Factored out so `wrangle_contained` can run
     /// it under panic isolation.
-    fn er_stage(&mut self, union_table: &Table) -> wrangler_table::Result<ErStageOutcome> {
+    fn er_stage(
+        &mut self,
+        union_table: &Table,
+        ctx: &ErIncrCtx<'_>,
+    ) -> wrangler_table::Result<ErStageOutcome> {
         // Block on the name-ish column AND the key column: rows whose name is
         // null or typo-prefixed still meet their duplicates through the key.
         let block_col = blocking_column(&self.target);
@@ -2047,7 +2418,45 @@ impl Wrangler {
         let mut scores = vec![0.0f64; candidates.len()];
         let mut miss_pairs: Vec<(usize, usize)> = Vec::new();
         let mut miss_slots: Vec<(usize, String)> = Vec::new();
+        // The index-remap fast path: when the previous pass's memo was built
+        // under the same fingerprints and both layouts cover their unions,
+        // rows of unchanged blocks map old→new by offset, and a clean-clean
+        // candidate pair replays its score through an integer binary search —
+        // no string content key is rendered, and the pair cache's hit/miss
+        // statistics stay untouched. Pairs touching changed rows fall
+        // through to the content-keyed cache path, which is always sound.
+        let layout_rows: usize = ctx.layout.iter().map(|&(_, _, n)| n).sum();
+        let rowmap: Option<Vec<Option<usize>>> = if ctx.remap
+            && layout_rows == union_table.num_rows()
+        {
+            self.incr.er.as_ref().and_then(|m| {
+                let old_rows: usize = m.layout.iter().map(|&(_, _, n)| n).sum();
+                // pass_fp pins the scoring config; the per-block keys in the
+                // layout pin row content. The whole-program fingerprint is
+                // deliberately not required — a dirty source's regenerated
+                // mapping shifts it without touching any clean row.
+                (m.pass_fp == ctx.pass_fp && old_rows == m.row_entity.len())
+                    .then(|| incr::remap_rows(&m.layout, ctx.layout))
+            })
+        } else {
+            None
+        };
+        let mut remapped = 0u64;
         for (k, &(i, j)) in candidates.iter().enumerate() {
+            if let Some(map) = &rowmap {
+                if let Some((oi, oj)) = wrangler_resolve::blocking::remap_candidate((i, j), map) {
+                    if let Some(s) = self
+                        .incr
+                        .er
+                        .as_ref()
+                        .and_then(|m| m.score_of(incr::pack_pair(oi, oj)))
+                    {
+                        scores[k] = s;
+                        remapped += 1;
+                        continue;
+                    }
+                }
+            }
             let ck = PairScoreCache::pair_key(&keys[i], &keys[j]);
             match self.working.pair_scores.lookup(&ck) {
                 Some(s) => scores[k] = s,
@@ -2061,9 +2470,17 @@ impl Wrangler {
         // applies on top of the requested width.
         let workers = self.er_workers.unwrap_or_else(par::available_parallelism);
         let (miss_scores, worker_stats) = kernel.score_pairs_parallel(&miss_pairs, workers)?;
-        for ((k, ck), &s) in miss_slots.into_iter().zip(&miss_scores) {
+        for (((k, ck), &(i, j)), &s) in miss_slots
+            .into_iter()
+            .zip(miss_pairs.iter())
+            .zip(&miss_scores)
+        {
             scores[k] = s;
-            self.working.pair_scores.insert(ck, s);
+            let tag = (
+                ctx.union_srcs.get(i).copied().unwrap_or(0),
+                ctx.union_srcs.get(j).copied().unwrap_or(0),
+            );
+            self.working.pair_scores.insert(ck, s, tag);
         }
         let pairs = kernel.filter_matches(&candidates, &scores);
         let clusters = cluster_pairs(union_table.num_rows(), pairs.iter().map(|p| (p.i, p.j)));
@@ -2074,15 +2491,38 @@ impl Wrangler {
             }
         }
         self.working.mark_clean(Artifact::Clusters);
+        if ctx.store {
+            let mut packed: Vec<(u64, f64)> = candidates
+                .iter()
+                .zip(&scores)
+                .map(|(&(i, j), &s)| (incr::pack_pair(i, j), s))
+                .collect();
+            packed.sort_unstable_by_key(|&(key, _)| key);
+            let layout = if layout_rows == union_table.num_rows() {
+                ctx.layout.to_vec()
+            } else {
+                Vec::new()
+            };
+            self.incr.er = Some(ErMemo {
+                key: ctx.er_key,
+                pass_fp: ctx.pass_fp,
+                prog_fp: ctx.prog_fp,
+                clusters: clusters.clone(),
+                row_entity: row_entity.clone(),
+                layout,
+                scores: packed,
+            });
+        }
         for (w, st) in worker_stats.iter().enumerate() {
             self.obs.count(&format!("er.worker{w}.items"), st.items);
             self.obs.record_nanos(&format!("worker{w}"), st.busy_nanos, 1);
         }
         self.obs.count(
             "er.cache.hits",
-            (candidates.len() - miss_pairs.len()) as u64,
+            (candidates.len() - miss_pairs.len()) as u64 - remapped,
         );
         self.obs.count("er.cache.misses", miss_pairs.len() as u64);
+        self.obs.count("incr.er.pairs_remapped", remapped);
         self.obs.count("er.candidates", candidates.len() as u64);
         self.obs.count("er.match_pairs", pairs.len() as u64);
         self.obs.count("er.entities", clusters.len() as u64);
@@ -2635,8 +3075,11 @@ impl Wrangler {
         self.er_cfg = cfg;
         self.working.invalidate(Artifact::Clusters);
         // The rule changed, so every cached pair score is stale: the cache
-        // is invalidated alongside the clusters it fed.
+        // is invalidated alongside the clusters it fed. (This is the one
+        // site where a *full* clear is right — data updates go through the
+        // partition-scoped `evict_sources` in `update_source` instead.)
         self.working.pair_scores.clear();
+        self.incr.clear();
         Some(f1.f1)
     }
 
@@ -3682,6 +4125,390 @@ mod tests {
         );
         // brand/category are dead at fuse and their slots were skipped.
         assert!(out.metrics.counts["fuse.slots_skipped"] > 0);
+    }
+
+    // -----------------------------------------------------------------
+    // The incremental dataflow engine: partition-scoped reuse must be
+    // byte-identical to cold recomputation, stale reuse must be
+    // structurally impossible, and every reuse must surface in telemetry.
+    // -----------------------------------------------------------------
+
+    /// Deterministically perturb a source payload: bump the first numeric
+    /// cell (or rewrite the first string) so the content hash moves while
+    /// the schema stays put.
+    fn perturbed(table: &Table) -> Table {
+        let schema = table.schema().clone();
+        let mut cols: Vec<Vec<Value>> = (0..table.num_columns())
+            .map(|i| table.column(i).unwrap().to_vec())
+            .collect();
+        let mut done = false;
+        'outer: for col in cols.iter_mut() {
+            for v in col.iter_mut() {
+                match v {
+                    Value::Float(f) => {
+                        *f += 1.0;
+                        done = true;
+                        break 'outer;
+                    }
+                    Value::Int(n) => {
+                        *n += 1;
+                        done = true;
+                        break 'outer;
+                    }
+                    Value::Str(s) => {
+                        s.push_str(" v2");
+                        done = true;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(done, "no perturbable cell");
+        Table::from_columns(schema, cols).unwrap()
+    }
+
+    /// Fingerprint of a full outcome: bit-exact table plus the shape facts
+    /// a reader would notice.
+    fn outcome_fingerprint(out: &WrangleOutcome) -> String {
+        format!(
+            "{}|e{}|sel{:?}|skip{:?}",
+            table_fingerprint(&out.table),
+            out.entities,
+            out.selected_sources,
+            out.skipped_sources
+        )
+    }
+
+    /// Run the warm (incremental) session and a cold comparator cloned from
+    /// the *same* state with the engine disabled; both must deliver
+    /// byte-identical outcomes. Returns the warm outcome for further
+    /// assertions.
+    fn assert_incremental_matches_cold(w: &mut Wrangler) -> WrangleOutcome {
+        let mut cold = w.clone();
+        cold.set_incr_enabled(false);
+        assert_eq!(cold.incr_memo_count(), 0, "cold comparator starts bare");
+        let warm_out = w.wrangle().unwrap();
+        let cold_out = cold.wrangle().unwrap();
+        assert_eq!(
+            outcome_fingerprint(&warm_out),
+            outcome_fingerprint(&cold_out),
+            "incremental reuse must be byte-identical to cold recompute"
+        );
+        warm_out
+    }
+
+    #[test]
+    fn one_source_update_reuses_every_clean_partition_byte_identically() {
+        let fleet = small_fleet();
+        // Completeness-dominant context: AllRelevant selection, so the
+        // freshness bump of the updated source cannot reshuffle the
+        // selected set out from under the partition comparison. (With
+        // marginal-gain selection a fresher source legitimately changes the
+        // chosen subset — and then the plan, and then every partition.)
+        let mut w = session(&fleet, UserContext::completeness_first());
+        let first = w.wrangle().unwrap();
+        let victim = first.selected_sources[0];
+        let n_selected = first.selected_sources.len() as u64;
+        assert!(n_selected >= 4, "fixture needs a fleet-wide selection");
+        let new_payload = perturbed(&fleet.registry.get(victim).unwrap().table);
+        assert!(w.update_source(victim, new_payload).unwrap());
+        let out = assert_incremental_matches_cold(&mut w);
+        let m = out.metrics;
+        // Exactly the dirty partition recomputed (counters are cumulative:
+        // the cold first pass computed every block once); every other
+        // selected source's union block replayed.
+        assert_eq!(m.counts["incr.union.recomputed"], n_selected + 1, "{m:?}");
+        assert_eq!(
+            m.counts["incr.union.reused"],
+            n_selected - 1,
+            "clean partitions must replay: {m:?}"
+        );
+        // The union changed, so ER ran — but through the index-remap fast
+        // path for clean-clean pairs, not a cold rescore.
+        assert!(
+            m.counts["incr.er.pairs_remapped"] > 0,
+            "clean-clean pairs must remap: {m:?}"
+        );
+        // The pair cache was evicted partition-scoped, not wiped.
+        assert!(m.counts["incr.pair_cache.evicted"] > 0);
+        assert!(
+            m.counts["incr.pair_cache.retained"] > m.counts["incr.pair_cache.evicted"],
+            "a 1-source update must keep most pair scores: {m:?}"
+        );
+    }
+
+    #[test]
+    fn identical_update_is_a_no_op_that_keeps_every_memo() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let first = w.wrangle().unwrap();
+        let memos = w.incr_memo_count();
+        assert!(memos > 0);
+        let victim = first.selected_sources[0];
+        let same = fleet.registry.get(victim).unwrap().table.clone();
+        assert!(!w.update_source(victim, same).unwrap());
+        assert_eq!(w.incr_memo_count(), memos, "no-op update must not evict");
+        // Unknown source and schema drift are structured errors.
+        assert!(w.update_source(SourceId(999), first.table.clone()).is_err());
+        // Dropping a column from the source's own schema is a schema drift.
+        let src = &fleet.registry.get(victim).unwrap().table;
+        let keep = src.schema().field(0).unwrap().name.clone();
+        let dropped =
+            wrangler_table::ops::project_exprs(src, &[(keep.clone(), Expr::col(&keep))]).unwrap();
+        assert!(w.update_source(victim, dropped).is_err());
+    }
+
+    #[test]
+    fn pure_replay_reuses_er_and_fuse_without_fake_spans() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let first = w.wrangle().unwrap();
+        let er_passes = first.metrics.timings["wrangle/er"].calls;
+        let fuse_passes = first.metrics.timings["wrangle/fuse"].calls;
+        // Nothing changed: the second pass replays union blocks, ER and
+        // fuse wholesale, byte-identically.
+        w.working.invalidate(Artifact::Result);
+        w.cache = None;
+        let out = assert_incremental_matches_cold(&mut w);
+        let m = out.metrics;
+        // Counters are cumulative across passes: compare against the first
+        // (cold) pass's snapshot to isolate what the replay pass did.
+        let delta = |key: &str| {
+            m.counts.get(key).copied().unwrap_or(0)
+                - first.metrics.counts.get(key).copied().unwrap_or(0)
+        };
+        assert_eq!(delta("incr.er.reused"), 1, "{m:?}");
+        assert_eq!(delta("incr.fuse.reused"), 1, "{m:?}");
+        assert_eq!(delta("incr.union.recomputed"), 0, "{m:?}");
+        assert!(delta("incr.union.reused") > 0);
+        // Metrics attribution: a reused stage records NO span at all (a
+        // zero-duration span would skew stage_shares); the replay cost is
+        // attributed to its own explicitly-named span instead.
+        assert_eq!(m.timings["wrangle/er"].calls, er_passes);
+        assert_eq!(m.timings["wrangle/fuse"].calls, fuse_passes);
+        assert!(m.timings.contains_key("wrangle/er_replay"));
+        assert!(m.timings.contains_key("wrangle/fuse_replay"));
+    }
+
+    #[test]
+    fn all_sources_dirty_is_equivalent_to_cold() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let first = w.wrangle().unwrap();
+        for id in &first.selected_sources {
+            let t = perturbed(&fleet.registry.get(*id).unwrap().table);
+            assert!(w.update_source(*id, t).unwrap());
+        }
+        let out = assert_incremental_matches_cold(&mut w);
+        assert_eq!(
+            out.metrics.counts.get("incr.union.rows_reused").copied().unwrap_or(0),
+            0,
+            "nothing clean to reuse"
+        );
+    }
+
+    #[test]
+    fn dirty_source_quarantined_mid_pass_matches_cold() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let first = w.wrangle().unwrap();
+        let victim = first.selected_sources[0];
+        let t = perturbed(&fleet.registry.get(victim).unwrap().table);
+        assert!(w.update_source(victim, t).unwrap());
+        // The updated source now also delivers poison: it gets quarantined
+        // mid-pass, and the warm session must agree with cold about both
+        // the survivors' output and the containment record.
+        w.set_fault_profile(victim, FaultProfile::TypePoison { cell_rate: 0.6 });
+        let mut cold = w.clone();
+        cold.set_incr_enabled(false);
+        let warm_out = w.wrangle().unwrap();
+        let cold_out = cold.wrangle().unwrap();
+        assert_eq!(outcome_fingerprint(&warm_out), outcome_fingerprint(&cold_out));
+        assert_eq!(
+            warm_out.containment.render(),
+            cold_out.containment.render()
+        );
+        // The freshness bump can legitimately drop the victim from the
+        // marginal-gain selection; if it was selected, the poison must have
+        // quarantined it.
+        assert!(
+            warm_out.containment.quarantined_sources().contains(&victim)
+                || !warm_out.selected_sources.contains(&victim),
+            "a selected poison source must be quarantined"
+        );
+    }
+
+    #[test]
+    fn dirty_update_heals_a_tripped_breaker_and_matches_cold() {
+        use wrangler_sources::FaultProfile;
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.set_fault_profile(SourceId(0), FaultProfile::HardDown);
+        let first = w.wrangle().unwrap();
+        if !first.skipped_sources.iter().any(|(id, _)| *id == SourceId(0)) {
+            return; // src0 never selected at this seed; nothing to heal
+        }
+        assert_eq!(w.estimates()[0].availability, 0.0, "breaker open");
+        // The provider ships a fixed payload: heal the fault, deliver the
+        // update, and move past the cooldown.
+        w.set_fault_profile(SourceId(0), FaultProfile::Healthy);
+        let t = perturbed(&fleet.registry.get(SourceId(0)).unwrap().table);
+        assert!(w.update_source(SourceId(0), t).unwrap());
+        let cooldown = w.acquisition.breaker_cfg.cooldown;
+        w.set_now(fleet.truth.now + 2 * cooldown);
+        let out = assert_incremental_matches_cold(&mut w);
+        assert!(out.entities > 0);
+        assert!(!out
+            .containment
+            .quarantined_sources()
+            .contains(&SourceId(0)));
+    }
+
+    /// The fingerprint audit, input by input: every knob that changes a
+    /// stage's output must flow into the content keys, so a warm session
+    /// that mutates the knob mid-flight must land byte-identical to a cold
+    /// session that never memoized anything. A stale reuse would diverge.
+    #[test]
+    fn no_stale_reuse_after_any_covered_input_changes() {
+        let fleet = small_fleet();
+        type Mutation = (
+            &'static str,
+            fn(&mut Wrangler, &SyntheticFleet, &WrangleOutcome),
+        );
+        let mutations: &[Mutation] = &[
+            ("trust ripple via tuple feedback", |w, _, _| {
+                w.give_feedback(FeedbackItem::expert(
+                    FeedbackTarget::Tuple { entity: 0 },
+                    Verdict::Negative,
+                    1.0,
+                ));
+            }),
+            ("value veto", |w, _, first| {
+                let price_attr = w.target().index_of("price").unwrap();
+                let entity = (0..first.table.num_rows())
+                    .find(|&r| !first.table.get_named(r, "price").unwrap().is_null())
+                    .unwrap();
+                let old = first.table.get_named(entity, "price").unwrap().clone();
+                w.give_feedback(FeedbackItem::expert(
+                    FeedbackTarget::Value {
+                        entity,
+                        attr: price_attr,
+                        value: Some(old),
+                    },
+                    Verdict::Negative,
+                    1.0,
+                ));
+            }),
+            ("source ages via clock advance", |w, fleet, _| {
+                w.set_now(fleet.truth.now + 3);
+                w.working.invalidate(Artifact::Result);
+                w.cache = None;
+            }),
+            ("master data update", |w, fleet, _| {
+                let catalog = perturbed(&fleet.truth.master_catalog());
+                w.data_ctx.add_master("product", catalog, "sku").unwrap();
+                w.working.invalidate(Artifact::Result);
+                w.cache = None;
+            }),
+            ("fault profile degrades a payload", |w, _, _| {
+                use wrangler_sources::FaultProfile;
+                w.set_fault_profile(
+                    SourceId(1),
+                    FaultProfile::Truncated { keep_fraction: 0.5 },
+                );
+                w.working.invalidate(Artifact::Result);
+                w.cache = None;
+            }),
+        ];
+        for (name, mutate) in mutations {
+            let mut w = session(&fleet, UserContext::balanced("t"));
+            let first = w.wrangle().unwrap();
+            assert!(w.incr_memo_count() > 0, "{name}: warm session memoized");
+            mutate(&mut w, &fleet, &first);
+            let mut cold = w.clone();
+            cold.set_incr_enabled(false);
+            let warm_out = w.rewrangle().unwrap();
+            let cold_out = cold.rewrangle().unwrap();
+            assert_eq!(
+                outcome_fingerprint(&warm_out),
+                outcome_fingerprint(&cold_out),
+                "stale reuse after: {name}"
+            );
+        }
+        // Plan-shape knobs clear the memos outright — the builder setters
+        // call invalidate_plan_shape.
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.wrangle().unwrap();
+        assert!(w.incr_memo_count() > 0);
+        let mut w = w.with_row_filter(category_filter());
+        assert_eq!(w.incr_memo_count(), 0, "plan shape change drops memos");
+        w.wrangle().unwrap();
+        assert!(w.incr_memo_count() > 0);
+        let w = w.with_output_columns(projection());
+        assert_eq!(w.incr_memo_count(), 0, "projection change drops memos");
+        // ER refinement: when the refined rule is adopted, memos and pair
+        // scores are dropped outright; when it is rejected the config is
+        // unchanged. Either way the next warm pass must match cold (the ER
+        // config is itself fingerprint-covered).
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        w.wrangle().unwrap();
+        w.give_feedback(FeedbackItem::expert(
+            FeedbackTarget::DuplicatePair { row_a: 0, row_b: 1 },
+            Verdict::Negative,
+            0.5,
+        ));
+        let _ = w.refine_er();
+        w.working.invalidate(Artifact::Result);
+        w.cache = None;
+        assert_incremental_matches_cold(&mut w);
+    }
+
+    #[test]
+    fn chaos_mode_stands_the_engine_down() {
+        use crate::contain::ChaosPolicy;
+        let fleet = small_fleet();
+        let chaos = ChaosPolicy::new(0.0, 7); // rate 0: rolls never fire,
+                                              // but the RNG is still stateful
+        let mut w = session(&fleet, UserContext::balanced("t"))
+            .with_contain_policy(ContainPolicy::contain().with_chaos(chaos));
+        let out = w.wrangle().unwrap();
+        assert_eq!(w.incr_memo_count(), 0, "chaos passes must not memoize");
+        assert!(!out
+            .metrics
+            .counts
+            .keys()
+            .any(|k| k.starts_with("incr.union")));
+    }
+
+    #[test]
+    fn pair_cache_survives_one_source_update_and_replays_bit_identically() {
+        let fleet = small_fleet();
+        let mut w = session(&fleet, UserContext::balanced("t"));
+        let first = w.wrangle().unwrap();
+        let entries_before = w.working.pair_scores.entries().count();
+        assert!(entries_before > 0);
+        let victim = first.selected_sources[0];
+        let t = perturbed(&fleet.registry.get(victim).unwrap().table);
+        assert!(w.update_source(victim, t).unwrap());
+        let remaining = w.working.pair_scores.entries().count();
+        // Partition-scoped eviction: only entries touching the victim go.
+        assert!(remaining > 0, "eviction must not wipe the cache");
+        assert!(
+            w.working
+                .pair_scores
+                .entries()
+                .all(|(_, _, a, b)| a != victim.0 && b != victim.0),
+            "every surviving entry avoids the updated source"
+        );
+        // On a fleet this small a third of the pairs can touch the victim;
+        // the E18 harness checks the >= 0.90 retention bound at 40 sources.
+        let retention = remaining as f64 / entries_before as f64;
+        assert!(retention >= 0.5, "retention {retention} collapsed");
+        // And the surviving scores replay bit-identically: the next pass's
+        // clean-partition pairs hit cache/remap and the output matches cold.
+        assert_incremental_matches_cold(&mut w);
     }
 
     #[test]

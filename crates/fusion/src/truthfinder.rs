@@ -63,6 +63,9 @@ impl TruthFinderResult {
 /// Known-true facts used to anchor trust (master data): (entity, attr, value).
 pub type Anchors = Vec<(usize, usize, Value)>;
 
+/// Per-slot agreement classes: each distinct value with its supporter sources.
+type ClassesBySlot = BTreeMap<(usize, usize), Vec<(Value, Vec<usize>)>>;
+
 /// Run truth discovery over a claim set.
 pub fn truthfinder(
     claims: &ClaimSet,
@@ -78,6 +81,25 @@ pub fn truthfinder(
     for c in &claims.claims {
         by_slot.entry((c.entity, c.attr)).or_default().push(c);
     }
+    // Agreement classes depend only on claim values and the tolerance —
+    // never on trust — so compute them once per slot instead of once per
+    // slot *per iteration*. Same for the anchor lookup (first anchor wins,
+    // as the linear scan always did).
+    let classes_by_slot: ClassesBySlot = slots
+        .iter()
+        .map(|&(e, a)| {
+            let classes = claims
+                .agreement_classes(&by_slot[&(e, a)])
+                .into_iter()
+                .map(|(v, members)| (v, members.iter().map(|c| c.source).collect()))
+                .collect();
+            ((e, a), classes)
+        })
+        .collect();
+    let mut anchor_by_slot: BTreeMap<(usize, usize), &Value> = BTreeMap::new();
+    for (e, a, truth) in anchors {
+        anchor_by_slot.entry((*e, *a)).or_insert(truth);
+    }
     let mut decisions: BTreeMap<(usize, usize), (Value, f64)> = BTreeMap::new();
     let mut iterations = 0;
 
@@ -88,28 +110,25 @@ pub fn truthfinder(
         decisions.clear();
         let mut per_source_conf: Vec<(f64, usize)> = vec![(0.0, 0); n]; // (sum conf, count)
         for &(e, a) in &slots {
-            let slot = &by_slot[&(e, a)];
-            let classes = claims.agreement_classes(slot);
-            let mut scored: Vec<(Value, f64, Vec<usize>)> = classes
-                .into_iter()
-                .map(|(v, members)| {
+            let classes = &classes_by_slot[&(e, a)];
+            let mut scored: Vec<(&Value, f64, &Vec<usize>)> = classes
+                .iter()
+                .map(|(v, supporters)| {
                     let mut miss = 1.0;
-                    for c in &members {
-                        miss *= 1.0 - cfg.dampening * trust[c.source];
+                    for &s in supporters {
+                        miss *= 1.0 - cfg.dampening * trust[s];
                     }
                     let mut conf = 1.0 - miss;
                     // Master-data anchor: a known-true value gets full
                     // confidence; a contradicted one is floored.
-                    if let Some((_, _, truth)) =
-                        anchors.iter().find(|(ae, aa, _)| *ae == e && *aa == a)
-                    {
-                        conf = if values_agree(&v, truth, claims.rel_tol) {
+                    if let Some(truth) = anchor_by_slot.get(&(e, a)) {
+                        conf = if values_agree(v, truth, claims.rel_tol) {
                             1.0
                         } else {
                             0.01
                         };
                     }
-                    (v, conf, members.iter().map(|c| c.source).collect())
+                    (v, conf, supporters)
                 })
                 .collect();
             let total: f64 = scored.iter().map(|(_, c, _)| *c).sum();
@@ -121,12 +140,12 @@ pub fn truthfinder(
             // Record per-source credit and the slot decision.
             let mut best: Option<(Value, f64)> = None;
             for (v, c, supporters) in &scored {
-                for &s in supporters {
+                for &s in supporters.iter() {
                     per_source_conf[s].0 += c;
                     per_source_conf[s].1 += 1;
                 }
                 if best.as_ref().is_none_or(|(_, bc)| c > bc) {
-                    best = Some((v.clone(), *c));
+                    best = Some(((*v).clone(), *c));
                 }
             }
             if let Some(b) = best {

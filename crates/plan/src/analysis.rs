@@ -52,6 +52,18 @@ pub enum Fact {
         /// Registry indices of the sources sharing the input, sorted.
         sources: Vec<usize>,
     },
+    /// `source`'s pre-union operator chain is self-contained: its union
+    /// block is `Acquire(source) → Map(source)` — optionally through a
+    /// *pure* row-wise filter, which distributes over the union — with no
+    /// other source's data on the path. The block is therefore a pure
+    /// function of (payload, mapping, compiled program, containment
+    /// policy): the incremental engine must hold this fact before reusing
+    /// a memoized block for an unchanged source (its dirty-partition
+    /// analysis proof obligation).
+    PartitionIsolated {
+        /// Registry index of the source.
+        source: usize,
+    },
 }
 
 impl Fact {
@@ -69,6 +81,7 @@ impl Fact {
                 let s: Vec<String> = sources.iter().map(|s| format!("src{s}")).collect();
                 format!("common-map-input({})", s.join(","))
             }
+            Fact::PartitionIsolated { source } => format!("partition-isolated(src{source})"),
         }
     }
 }
@@ -102,6 +115,7 @@ pub fn analyze(ir: &PlanIr) -> Analysis {
     liveness(&ir, &mut facts, &mut report);
     purity_and_pushdown(&ir, &mut facts, &mut report);
     duplicate_maps(&ir, &mut facts, &mut report);
+    partition_isolation(&ir, &mut facts);
 
     if !ir.scan_barrier {
         facts.push(Fact::NoScanBarrier);
@@ -401,5 +415,57 @@ fn duplicate_maps(ir: &PlanIr, facts: &mut Vec<Fact>, report: &mut Report) {
     sources.dedup();
     if sources.len() >= 2 {
         facts.push(Fact::CommonMapInput { sources });
+    }
+}
+
+/// Pass 6 — dirty-partition analysis. Establishes
+/// [`Fact::PartitionIsolated`] per source whose union block is provably
+/// self-contained: the union input chain for that source is
+/// `Acquire(s) → Map(s)`, optionally through a single shared [`OpKind::
+/// Filter`] node whose predicate carries [`Fact::PredicatePure`] (a pure
+/// row-wise filter distributes over the union, so filtering the
+/// concatenation equals concatenating the filtered blocks). Any other
+/// shape — a multi-source operator ahead of the union, or an impure
+/// filter — yields no fact, and the incremental engine recomputes that
+/// source's block unconditionally.
+fn partition_isolation(ir: &PlanIr, facts: &mut Vec<Fact>) {
+    let Some(union_node) = ir
+        .nodes
+        .iter()
+        .find(|n| matches!(n.kind, OpKind::Union { .. }))
+    else {
+        return;
+    };
+    let predicate_pure = facts
+        .iter()
+        .any(|f| matches!(f, Fact::PredicatePure { .. }));
+    // Union inputs are either the Map nodes directly or one Filter node
+    // fanning in every Map.
+    let mut map_ids: Vec<usize> = Vec::new();
+    for &inp in &union_node.inputs {
+        match &ir.nodes[inp].kind {
+            OpKind::Map { .. } => map_ids.push(inp),
+            OpKind::Filter { .. } => {
+                if !predicate_pure {
+                    return;
+                }
+                map_ids.extend(ir.nodes[inp].inputs.iter().copied());
+            }
+            _ => return,
+        }
+    }
+    for m in map_ids {
+        let node = &ir.nodes[m];
+        let OpKind::Map { source, .. } = &node.kind else {
+            continue;
+        };
+        let upstream_ok = node.inputs.len() == 1
+            && matches!(
+                &ir.nodes[node.inputs[0]].kind,
+                OpKind::Acquire { source: s, .. } if s == source
+            );
+        if upstream_ok {
+            facts.push(Fact::PartitionIsolated { source: *source });
+        }
     }
 }

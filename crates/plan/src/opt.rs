@@ -401,6 +401,14 @@ impl PlanProgram {
         h.finish()
     }
 
+    /// True if analysis established `fact` for this program (the facts are
+    /// kept sorted). Runtime reuse decisions — like the incremental
+    /// engine's per-source block memoization — cite facts through this, so
+    /// a reuse without a verified justification is structurally impossible.
+    pub fn holds(&self, fact: &Fact) -> bool {
+        self.facts.binary_search(fact).is_ok()
+    }
+
     /// The row filter predicate, if the plan has one.
     pub fn predicate(&self) -> Option<&Expr> {
         self.ir.filter_node().and_then(|n| match &n.kind {

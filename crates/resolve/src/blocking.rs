@@ -84,6 +84,21 @@ pub fn candidates_blocked_exact(
     Ok(out)
 }
 
+/// Translate a candidate pair of the current pass into the row indices of a
+/// previous pass, given a row-level remap (`None` = the row has no prior
+/// counterpart). This is the ER half of the incremental engine's fast path:
+/// a pair whose rows both remap can replay its memoized score instead of
+/// rescoring. Out-of-range indices translate to `None` rather than
+/// panicking, so a stale or truncated map can never fabricate a reuse.
+pub fn remap_candidate(
+    pair: (usize, usize),
+    rowmap: &[Option<usize>],
+) -> Option<(usize, usize)> {
+    let old_i = rowmap.get(pair.0).copied().flatten()?;
+    let old_j = rowmap.get(pair.1).copied().flatten()?;
+    Some((old_i, old_j))
+}
+
 /// Sorted neighbourhood: sort rows by the column's rendering, compare each
 /// row with the next `window − 1` rows in that order. Robust to key-prefix
 /// typos that break key blocking. Null rows are excluded before sorting —
@@ -221,6 +236,16 @@ mod tests {
                 "{err:?}"
             );
         }
+    }
+
+    #[test]
+    fn remap_candidate_requires_both_rows_mapped_and_in_range() {
+        let map = [Some(5), None, Some(7)];
+        assert_eq!(remap_candidate((0, 2), &map), Some((5, 7)));
+        assert_eq!(remap_candidate((0, 1), &map), None);
+        // Indices past the map's end are "no counterpart", not a panic.
+        assert_eq!(remap_candidate((0, 9), &map), None);
+        assert_eq!(remap_candidate((9, 9), &[]), None);
     }
 
     #[test]

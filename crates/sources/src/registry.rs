@@ -163,6 +163,17 @@ impl SourceRegistry {
         self.get(id).map(|s| wrangler_table::wire::table_hash(&s.table))
     }
 
+    /// Replace a source's payload in place (a new extraction delivered).
+    /// Returns the *previous* payload hash, or `None` for an unknown id —
+    /// callers diff it against [`Self::payload_hash`] of the replacement to
+    /// decide whether anything actually changed.
+    pub fn update_table(&mut self, id: SourceId, table: Table) -> Option<u64> {
+        let src = self.sources.get_mut(id.0 as usize)?;
+        let prev = wrangler_table::wire::table_hash(&src.table);
+        src.table = table;
+        Some(prev)
+    }
+
     /// Fallible acquisition of a source's payload at virtual tick `now`,
     /// tolerating at most `deadline` ticks of latency for this attempt.
     ///
@@ -236,6 +247,23 @@ mod tests {
         let c = reg.register("siteC", t2);
         assert_ne!(reg.payload_hash(a), reg.payload_hash(c));
         assert_eq!(reg.payload_hash(SourceId(9)), None);
+    }
+
+    #[test]
+    fn update_table_swaps_payload_and_reports_previous_hash() {
+        use wrangler_table::Value;
+        let mut t = Table::empty(Schema::of_strs(&["x"]));
+        t.push_row(vec![Value::Str("a".into())]).unwrap();
+        let mut reg = SourceRegistry::new();
+        let a = reg.register("siteA", t.clone());
+        let before = reg.payload_hash(a).unwrap();
+        let mut t2 = t.clone();
+        t2.push_row(vec![Value::Str("b".into())]).unwrap();
+        let prev = reg.update_table(a, t2.clone()).unwrap();
+        assert_eq!(prev, before);
+        assert_ne!(reg.payload_hash(a).unwrap(), before);
+        assert_eq!(reg.get(a).unwrap().table.num_rows(), 2);
+        assert_eq!(reg.update_table(SourceId(9), t), None);
     }
 
     #[test]

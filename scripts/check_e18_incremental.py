@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate on the E18 incremental-rewrangle result (BENCH_e18.json).
+
+The regressions this guards:
+
+* **Reuse economics** — a 1-source update on the 40-source fleet must cost
+  at most RATIO_LIMIT of a cold recompute (cold = same session state with
+  every stage memo and cached pair score dropped). If partition memoization
+  stops firing — a fingerprint accidentally covering volatile state, the
+  PartitionIsolated fact no longer established, the ER remap fast path dead
+  — the ratio climbs back toward 1.0 and this fails loudly. The ratio is a
+  same-machine, same-run comparison, so it is robust to absolute CI speed.
+* **Stale reuse** — every row of the sweep (k = 0 dirty sources through all
+  40) must report `identical: true`: the incremental pass is byte-identical
+  (`f64::to_bits`, canonical table hash) to the cold comparator. A single
+  false here means a memo replayed bytes the cold path would not produce.
+* **Pair-cache retention** — a 1-source update must keep at least
+  RETENTION_FLOOR of the content-keyed pair scores (the partition-scoped
+  eviction fix; the old behaviour wiped the cache).
+"""
+
+import json
+import sys
+
+RATIO_LIMIT = 0.25      # incr/cold ceiling for a 1-source update
+RETENTION_FLOOR = 0.90  # pair-cache survival floor for a 1-source update
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_e18.json"
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+
+    rows = data["rows"]
+    failures = []
+
+    for row in rows:
+        mark = "ok" if row["identical"] else "FAIL"
+        print(
+            f"e18 identity [k={row['k']}]: incremental vs cold "
+            f"{'byte-identical' if row['identical'] else 'DIVERGED'} -> {mark}"
+        )
+        if not row["identical"]:
+            failures.append(f"identity@k={row['k']}")
+
+    one = next((r for r in rows if r["k"] == 1), None)
+    if one is None:
+        print("e18 ratio: no k=1 row in the sweep")
+        failures.append("missing-k1")
+    else:
+        ratio = one["ratio"]
+        verdict = "ok" if ratio <= RATIO_LIMIT else "FAIL"
+        print(
+            f"e18 ratio [k=1, {data['num_sources']} sources]: "
+            f"cold = {1e3 * one['cold_secs']:.1f} ms, "
+            f"incr = {1e3 * one['incr_secs']:.1f} ms, "
+            f"ratio = {ratio:.3f} (limit {RATIO_LIMIT}) -> {verdict}"
+        )
+        if ratio > RATIO_LIMIT:
+            failures.append("ratio@k=1")
+
+    retention = data.get("pair_cache_retention", 0.0)
+    verdict = "ok" if retention >= RETENTION_FLOOR else "FAIL"
+    print(
+        f"e18 pair-cache retention [k=1]: {retention:.1%} "
+        f"(floor {RETENTION_FLOOR:.0%}) -> {verdict}"
+    )
+    if retention < RETENTION_FLOOR:
+        failures.append("retention")
+
+    if failures:
+        print(f"e18 incremental gate: FAILED ({', '.join(failures)})")
+        return 1
+    print("e18 incremental gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,15 @@ echo "==> e17 crash recovery (full run + resumed-run count determinism)"
 ./target/release/e17_crash_recovery --counts > "$tmp_b"
 diff "$tmp_a" "$tmp_b"
 
+echo "==> e18 incremental rewrangle (full run + count-field determinism)"
+./target/release/e18_incremental
+./target/release/e18_incremental --counts > "$tmp_a"
+./target/release/e18_incremental --counts > "$tmp_b"
+diff "$tmp_a" "$tmp_b"
+
+echo "==> e18 incremental gate (1-source update <= 0.25x cold; identity everywhere)"
+python3 scripts/check_e18_incremental.py BENCH_e18.json
+
 echo "==> lint baseline ratchet (new findings vs lint-baseline.json fail)"
 ./target/release/lint_gate
 
